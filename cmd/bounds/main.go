@@ -1,0 +1,85 @@
+// Command bounds evaluates the paper's analytic machinery and compares it
+// against Monte-Carlo ground truth:
+//
+//	bounds -bound 1 -eps 0.3 -qh 0.3     Bound 1 (uniquely honest Catalan slots)
+//	bounds -bound 2 -eps 0.4             Bound 2 (consecutive Catalan pairs, ph = 0)
+//	bounds -bound 3 -f 0.2 -delta 4      Theorem 7 (Δ-synchronous reduction sweep)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/deltasync"
+	"multihonest/internal/gf"
+	"multihonest/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	which := flag.Int("bound", 1, "which bound: 1, 2 or 3")
+	eps := flag.Float64("eps", 0.3, "honest advantage ǫ (pA = (1−ǫ)/2)")
+	qh := flag.Float64("qh", 0.3, "uniquely honest probability (bound 1)")
+	f := flag.Float64("f", 0.2, "active-slot rate f = 1 − p⊥ (bound 3)")
+	adv := flag.Float64("adv", 0.25, "adversarial fraction of active slots (bound 3)")
+	delta := flag.Int("delta", 4, "maximum network delay Δ (bound 3)")
+	kmax := flag.Int("kmax", 400, "largest window length")
+	n := flag.Int("n", 20000, "Monte-Carlo samples per point")
+	flag.Parse()
+
+	switch *which {
+	case 1:
+		b, err := gf.NewBound1(*eps, *qh, *kmax+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, _ := gf.DecayRateBound1(*eps, *qh)
+		fmt.Printf("Bound 1 at ǫ=%.2f qh=%.2f: asymptotic rate %.5f per slot (Θ(min(ǫ³, ǫ²qh)))\n", *eps, *qh, rate)
+		fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no uniquely honest Catalan slot in window]")
+		p := charstring.MustParams(*eps, *qh)
+		for k := *kmax / 8; k <= *kmax; k += *kmax / 8 {
+			tail, err := b.Tail(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			est := mc.NoUniquelyHonestCatalan(p, 50, k, 200, *n, int64(k))
+			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
+		}
+	case 2:
+		b, err := gf.NewBound2(*eps, *kmax+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, _ := gf.DecayRateBound2(*eps)
+		fmt.Printf("Bound 2 at ǫ=%.2f (bivalent, consistent ties): rate %.5f per slot (ǫ³/2·(1+O(ǫ)))\n", *eps, rate)
+		fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no consecutive Catalan pair in window]")
+		for k := *kmax / 8; k <= *kmax; k += *kmax / 8 {
+			tail, err := b.Tail(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			est := mc.NoConsecutiveCatalan(*eps, 50, k, 200, *n, int64(k))
+			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
+		}
+	case 3:
+		active := *f
+		sp, err := charstring.NewSemiSyncParams(1-active, (1-*adv)*active*0.8, (1-*adv)*active*0.2, *adv*active)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Theorem 7 sweep: f=%.2f, adversarial active fraction=%.2f\n", active, *adv)
+		fmt.Println("Δ\tmax ǫ (Eq.20)\tinduced (h,H,A) per Eq.22\tMC Pr[slot lacks (k,Δ)-certificate], k=kmax/4")
+		for d := 0; d <= *delta; d++ {
+			ph, pH, pA := deltasync.InducedParams(sp, d)
+			est, err := mc.DeltaUnsettled(sp, d, 10, *kmax/4, 200, *n/2, int64(d))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%d\t%+.4f\t(%.4f, %.4f, %.4f)\t%v\n", d, deltasync.MaxEpsilon(sp, d), ph, pH, pA, est)
+		}
+	default:
+		log.Fatalf("unknown bound %d", *which)
+	}
+}

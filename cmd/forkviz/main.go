@@ -1,0 +1,95 @@
+// Command forkviz reproduces the paper's fork figures as machine-checked
+// structures and renders them (ASCII by default, Graphviz DOT with -dot):
+//
+//	forkviz -fig 1        Figure 1: fork for w = hAhAhHAAH with concurrent leaders
+//	forkviz -fig 2        Figure 2: balanced fork for w = hAhAhA
+//	forkviz -fig 3        Figure 3: x-balanced fork for w = hhhAhA, x = hh
+//	forkviz -w hAAhH      canonical fork built by A* for an arbitrary string
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"multihonest/internal/adversary"
+	"multihonest/internal/charstring"
+	"multihonest/internal/fork"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "paper figure to reproduce (1, 2 or 3)")
+	wArg := flag.String("w", "", "characteristic string for an A* canonical fork")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+	flag.Parse()
+
+	var f *fork.Fork
+	var title string
+	switch {
+	case *fig == 1:
+		f, title = figure1(), "Figure 1: fork for w = hAhAhHAAH (honest vertices doubly bordered)"
+	case *fig == 2:
+		f = mustBalanced("hAhAhA", 0)
+		title = "Figure 2: balanced fork for w = hAhAhA"
+	case *fig == 3:
+		f = mustBalanced("hhhAhA", 2)
+		title = "Figure 3: x-balanced fork for w = hhhAhA, x = hh"
+	case *wArg != "":
+		w, err := charstring.Parse(*wArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cf, err := adversary.Build(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, title = cf, fmt.Sprintf("canonical fork built by A* for w = %s", w)
+	default:
+		log.Fatal("pass -fig 1|2|3 or -w <string>")
+	}
+	if err := f.Validate(); err != nil {
+		log.Fatalf("internal error: fork invalid: %v", err)
+	}
+	fmt.Println(title)
+	fmt.Printf("string: %s   height: %d   closed: %v\n\n", f.String(), f.Height(), f.IsClosed())
+	if *dot {
+		fmt.Print(f.DOT())
+	} else {
+		fmt.Print(f.Render())
+	}
+}
+
+// figure1 rebuilds the Figure 1 fork (see internal/fork tests for the
+// depth bookkeeping).
+func figure1() *fork.Fork {
+	w := charstring.MustParse("hAhAhHAAH")
+	f := fork.New(w)
+	r := f.Root()
+	v1 := f.MustAddVertex(r, 1)
+	a2 := f.MustAddVertex(r, 2)
+	v3 := f.MustAddVertex(a2, 3)
+	b2 := f.MustAddVertex(v1, 2)
+	f.MustAddVertex(a2, 4)
+	v5 := f.MustAddVertex(b2, 5)
+	c4 := f.MustAddVertex(v3, 4)
+	b4 := f.MustAddVertex(b2, 4)
+	v6a := f.MustAddVertex(c4, 6)
+	v6b := f.MustAddVertex(b4, 6)
+	a7 := f.MustAddVertex(v5, 7)
+	f.MustAddVertex(a7, 8)
+	f.MustAddVertex(v6a, 9)
+	f.MustAddVertex(v6b, 9)
+	return f
+}
+
+func mustBalanced(w string, xlen int) *fork.Fork {
+	f, err := adversary.BuildXBalanced(charstring.MustParse(w), xlen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !f.IsXBalanced(xlen) {
+		log.Fatalf("fork not balanced for |x|=%d", xlen)
+	}
+	return f
+}

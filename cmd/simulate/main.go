@@ -1,0 +1,115 @@
+// Command simulate runs the executable longest-chain protocol against a
+// chosen adversary and reports realized consistency metrics, comparing the
+// margin-optimal attacker's empirical violation rate with the exact
+// dynamic-program prediction (experiment E7).
+//
+// Usage:
+//
+//	simulate -strategy margin -alpha 0.3 -ph 0.2 -s 5 -k 60 -runs 400
+//	simulate -strategy private -alpha 0.3 -ph 0.2 -s 5 -k 60 -runs 400
+//	simulate -strategy null -alpha 0.3 -ph 0.2 -k 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multihonest/internal/chainsim"
+	"multihonest/internal/charstring"
+	"multihonest/internal/leader"
+	"multihonest/internal/settlement"
+	"multihonest/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	strategy := flag.String("strategy", "margin", "adversary: null, private, margin")
+	alpha := flag.Float64("alpha", 0.30, "adversarial slot probability")
+	ph := flag.Float64("ph", 0.20, "uniquely honest slot probability")
+	s := flag.Int("s", 5, "slot under attack")
+	k := flag.Int("k", 60, "settlement horizon")
+	runs := flag.Int("runs", 400, "independent protocol executions")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	p, err := charstring.ParamsFromAlpha(*alpha, *ph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := *s - 1 + *k
+
+	violations, abstract := 0, 0
+	for run := 0; run < *runs; run++ {
+		rng := rand.New(rand.NewSource(*seed + int64(run)))
+		sched := leader.BernoulliSchedule(p, horizon, rng)
+		var strat chainsim.Strategy
+		rule := chainsim.AdversarialTies
+		var marginStrat *chainsim.MarginStrategy
+		switch *strategy {
+		case "null":
+			strat, rule = chainsim.NullStrategy{}, chainsim.ConsistentTies
+		case "private":
+			strat = &chainsim.PrivateChainStrategy{Target: *s}
+		case "margin":
+			marginStrat = chainsim.NewMarginStrategy()
+			strat = marginStrat
+		default:
+			log.Fatalf("unknown strategy %q", *strategy)
+		}
+		sim, err := chainsim.NewSim(chainsim.Config{Schedule: sched, Rule: rule, Strategy: strat, Seed: *seed + int64(run)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Run(nil); err != nil {
+			log.Fatal(err)
+		}
+		switch st := strat.(type) {
+		case *chainsim.MarginStrategy:
+			if err := st.Err(); err != nil {
+				log.Fatal(err)
+			}
+			ok, err := st.ViolationPresentable(sim, *s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				violations++
+			}
+		case *chainsim.PrivateChainStrategy:
+			if st.Succeeded(sim) {
+				violations++
+			}
+		default:
+			if sim.SettlementViolated(*s) {
+				violations++
+			}
+		}
+		_ = abstract
+	}
+
+	lo, hi := stats.Wilson(violations, *runs)
+	fmt.Printf("strategy=%s α=%.2f ph=%.2f s=%d k=%d runs=%d\n", *strategy, *alpha, *ph, *s, *k, *runs)
+	fmt.Printf("empirical settlement-violation rate: %.4f [%.4f, %.4f] (%d/%d)\n",
+		float64(violations)/float64(*runs), lo, hi, violations, *runs)
+	comp := settlement.New(p)
+	curve, err := comp.ViolationCurveFinitePrefix(*s-1, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stationary, err := comp.ViolationProbability(*k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimal-adversary prediction (finite prefix |x|=%d): %.4f\n", *s-1, curve[*k-1])
+	fmt.Printf("stationary |x|→∞ prediction (Table 1 DP):                %.4f\n", stationary)
+	switch *strategy {
+	case "margin":
+		fmt.Println("(the margin attacker should match the prediction within sampling error)")
+	case "private":
+		fmt.Println("(the private-chain baseline should fall below the prediction)")
+	case "null":
+		fmt.Println("(the null adversary never attacks; rate should be 0)")
+	}
+}

@@ -1,0 +1,52 @@
+// Package multihonest is a from-scratch Go reproduction of
+//
+//	Kiayias, Quader, Russell:
+//	"Consistency of Proof-of-Stake Blockchains with Concurrent Honest
+//	Slot Leaders" (ICDCS 2020, arXiv:2001.06403).
+//
+// The repository provides, under internal/:
+//
+//   - the fork framework with multiply honest slots (fork, charstring),
+//   - Catalan slots and the Unique Vertex Property (catalan),
+//   - the reach/relative-margin calculus and its recurrences (margin),
+//   - the optimal online adversary A* and canonical forks (adversary),
+//   - the exact settlement-probability dynamic program behind the paper's
+//     Table 1 (settlement),
+//   - the generating-function tail bounds of Section 5 (gf),
+//   - the Δ-synchronous reduction of Section 8 (deltasync),
+//   - common-prefix analysis (cp),
+//   - a stake-lottery leader-election substrate (leader),
+//   - an executable longest-chain PoS protocol with signed blocks and
+//     pluggable adversaries (chainsim),
+//   - Monte-Carlo experiment harnesses (mc, stats),
+//   - and a high-level facade (core).
+//
+// The root package re-exports the facade so downstream users can depend on
+// a single import path; see README.md for a tour and EXPERIMENTS.md for
+// the paper-versus-measured record. The benchmark suite in bench_test.go
+// regenerates every table and figure of the paper's evaluation.
+package multihonest
+
+import (
+	"multihonest/internal/charstring"
+	"multihonest/internal/core"
+)
+
+// Analyzer answers consistency questions for one (α, ph) parameter point;
+// it is internal/core.Analyzer re-exported.
+type Analyzer = core.Analyzer
+
+// Diagnosis summarizes the consistency structure of a concrete execution.
+type Diagnosis = core.Diagnosis
+
+// NewAnalyzer returns an Analyzer for adversarial-slot probability alpha
+// and uniquely honest slot probability ph.
+func NewAnalyzer(alpha, ph float64) (*Analyzer, error) { return core.New(alpha, ph) }
+
+// ParseString parses the paper's characteristic-string notation
+// ("hAhAhHAAH", with '_' for empty slots).
+func ParseString(text string) (charstring.String, error) { return charstring.Parse(text) }
+
+// Diagnose analyzes a concrete characteristic string at settlement
+// parameter k: Catalan slots, UVP slots, margin-witnessed violations.
+func Diagnose(w charstring.String, k int) Diagnosis { return core.Diagnose(w, k) }

@@ -1,0 +1,108 @@
+// Attack lab: run real adversaries against the executable protocol.
+//
+// Three attackers race on identical leader schedules:
+//
+//   - null: behaves honestly (baseline liveness),
+//   - private-chain: the classic double-spend fork,
+//   - margin-optimal: the paper's A* adversary realized with concrete
+//     signed blocks — provably the strongest possible (Theorem 6).
+//
+// The lab reports each attacker's realized settlement-violation rate next
+// to the exact optimum computed by the Table 1 dynamic program, showing
+// both that the margin attacker achieves the optimum and how far the folk
+// double-spend attack falls short of it.
+//
+// Run with: go run ./examples/attack-lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multihonest/internal/chainsim"
+	"multihonest/internal/charstring"
+	"multihonest/internal/leader"
+	"multihonest/internal/settlement"
+	"multihonest/internal/stats"
+)
+
+const (
+	alpha = 0.35
+	ph    = 0.15
+	s     = 4
+	k     = 40
+	runs  = 600
+)
+
+func main() {
+	log.SetFlags(0)
+	p, err := charstring.ParamsFromAlpha(alpha, ph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== attack lab ===")
+	fmt.Printf("law: Pr[A]=%.2f Pr[h]=%.2f Pr[H]=%.2f — ph < pA: prior analyses offer no guarantee here\n",
+		alpha, ph, p.PH())
+	fmt.Printf("attacking slot %d at horizon k=%d over %d executions\n\n", s, k, runs)
+
+	for _, name := range []string{"null", "private-chain", "margin-optimal"} {
+		wins := 0
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(int64(run)))
+			sched := leader.BernoulliSchedule(p, s-1+k, rng)
+			var strat chainsim.Strategy
+			rule := chainsim.AdversarialTies
+			var ms *chainsim.MarginStrategy
+			var pc *chainsim.PrivateChainStrategy
+			switch name {
+			case "null":
+				strat, rule = chainsim.NullStrategy{}, chainsim.ConsistentTies
+			case "private-chain":
+				pc = &chainsim.PrivateChainStrategy{Target: s}
+				strat = pc
+			case "margin-optimal":
+				ms = chainsim.NewMarginStrategy()
+				strat = ms
+			}
+			sim, err := chainsim.NewSim(chainsim.Config{Schedule: sched, Rule: rule, Strategy: strat, Seed: int64(run)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.Run(nil); err != nil {
+				log.Fatal(err)
+			}
+			switch {
+			case ms != nil:
+				if err := ms.Err(); err != nil {
+					log.Fatal(err)
+				}
+				ok, err := ms.ViolationPresentable(sim, s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ok {
+					wins++
+				}
+			case pc != nil:
+				if pc.Succeeded(sim) {
+					wins++
+				}
+			default:
+				if sim.SettlementViolated(s) {
+					wins++
+				}
+			}
+		}
+		lo, hi := stats.Wilson(wins, runs)
+		fmt.Printf("%-16s violation rate %.4f [%.4f, %.4f] (%d/%d)\n",
+			name, float64(wins)/float64(runs), lo, hi, wins, runs)
+	}
+
+	curve, err := settlement.New(p).ViolationCurveFinitePrefix(s-1, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact optimum (DP, finite prefix |x|=%d): %.4f\n", s-1, curve[k-1])
+	fmt.Println("margin-optimal should match it; private-chain should sit strictly below.")
+}

@@ -1,0 +1,58 @@
+// Delta tuning: how network delay trades against block production rate.
+//
+// Ouroboros-style deployments pick the active-slot coefficient f knowing
+// that a larger f produces blocks faster but makes honest leaders collide
+// within the network delay Δ — Theorem 7 quantifies the damage through the
+// reduction map ρ_Δ. This example sweeps (f, Δ), reports the honest
+// advantage ǫ surviving Eq. (20), the Eq. (22) induced law, and a
+// Monte-Carlo estimate of unsettled slots at a fixed horizon, reproducing
+// the qualitative story of Section 8.
+//
+// Run with: go run ./examples/delta-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/deltasync"
+	"multihonest/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	const advFraction = 0.2 // adversarial fraction of active slots
+	const k = 80
+	fmt.Println("=== Δ-synchrony tuning (Theorem 7) ===")
+	fmt.Printf("adversarial fraction of active slots: %.2f; horizon k = %d blocks\n\n", advFraction, k)
+	fmt.Printf("%-6s %-4s %-12s %-28s %-s\n", "f", "Δ", "max ǫ (20)", "induced (h,H,A) per (22)", "MC Pr[no (k,Δ)-certificate]")
+
+	for _, f := range []float64{0.05, 0.15, 0.30} {
+		for _, delta := range []int{0, 2, 5, 10} {
+			// Within active slots: 20% adversarial; honest slots split
+			// 70/30 between unique and multiple leaders.
+			sp, err := charstring.NewSemiSyncParams(1-f, 0.7*(1-advFraction)*f, 0.3*(1-advFraction)*f, advFraction*f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eps := deltasync.MaxEpsilon(sp, delta)
+			ph, pH, pA := deltasync.InducedParams(sp, delta)
+			if eps <= 0 {
+				fmt.Printf("%-6.2f %-4d %-12.3f (%.3f, %.3f, %.3f)  delay swamps honest majority — insecure\n",
+					f, delta, eps, ph, pH, pA)
+				continue
+			}
+			est, err := mc.DeltaUnsettled(sp, delta, 8, k, 150, 4000, int64(delta)+7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6.2f %-4d %-12.3f (%.3f, %.3f, %.3f)   %v\n", f, delta, eps, ph, pH, pA, est)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: at fixed delay, raising f converts honest slots")
+	fmt.Println("into de-facto adversarial ones under ρ_Δ; the surviving ǫ — and with")
+	fmt.Println("it the settlement rate — collapses. Small f buys Δ-tolerance with")
+	fmt.Println("slower block production, exactly the Praos design trade-off.")
+}

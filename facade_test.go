@@ -1,0 +1,32 @@
+package multihonest
+
+import "testing"
+
+// TestFacade exercises the re-exported public API end to end.
+func TestFacade(t *testing.T) {
+	a, err := NewAnalyzer(0.30, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.SettlementFailure(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Fatalf("failure probability %v out of range", p)
+	}
+	if !a.Regime().ThisPaper {
+		t.Fatal("ph + pH > pA must hold at α=0.30")
+	}
+	w, err := ParseString("hhhhhhAAhh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(w, 3)
+	if len(d.CatalanSlots) != 4 {
+		t.Fatalf("Diagnose Catalan slots = %v", d.CatalanSlots)
+	}
+	if _, err := ParseString("xyz"); err == nil {
+		t.Fatal("invalid string accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package charstring
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params collects the (ǫ, ph)-Bernoulli condition of Definition 7.
+//
+// Given ǫ ∈ (0,1) and ph ∈ [0, (1+ǫ)/2], the per-slot law is
+//
+//	pA = (1−ǫ)/2,   pH = 1 − pA − ph,   Pr[w_t = σ] = pσ i.i.d.
+//
+// The zero value is not usable; construct with NewParams or set the three
+// probabilities directly via Probabilities.
+type Params struct {
+	Epsilon float64 // honest advantage ǫ: pA = (1−ǫ)/2
+	Ph      float64 // probability of a uniquely honest slot
+}
+
+// NewParams validates and returns the (ǫ, ph)-Bernoulli parameters.
+func NewParams(epsilon, ph float64) (Params, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return Params{}, fmt.Errorf("charstring: epsilon %v outside (0,1)", epsilon)
+	}
+	if ph < 0 || ph > (1+epsilon)/2 {
+		return Params{}, fmt.Errorf("charstring: ph %v outside [0, (1+ǫ)/2] = [0, %v]", ph, (1+epsilon)/2)
+	}
+	return Params{Epsilon: epsilon, Ph: ph}, nil
+}
+
+// MustParams is NewParams that panics on error, for tests and examples.
+func MustParams(epsilon, ph float64) Params {
+	p, err := NewParams(epsilon, ph)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParamsFromAlpha builds Params from the Table-1 parameterization: the
+// adversarial slot probability α = pA and the uniquely honest probability
+// ph (so that pH = 1 − α − ph).
+func ParamsFromAlpha(alpha, ph float64) (Params, error) {
+	if alpha <= 0 || alpha >= 0.5 {
+		return Params{}, fmt.Errorf("charstring: alpha %v outside (0, 0.5)", alpha)
+	}
+	return NewParams(1-2*alpha, ph)
+}
+
+// PA returns pA = (1−ǫ)/2.
+func (p Params) PA() float64 { return (1 - p.Epsilon) / 2 }
+
+// PH returns pH = 1 − pA − ph.
+func (p Params) PH() float64 { return 1 - p.PA() - p.Ph }
+
+// Probabilities returns (ph, pH, pA).
+func (p Params) Probabilities() (ph, pH, pA float64) {
+	return p.Ph, p.PH(), p.PA()
+}
+
+// Q returns q = 1 − pA = (1+ǫ)/2, the per-slot probability of an honest slot.
+func (p Params) Q() float64 { return (1 + p.Epsilon) / 2 }
+
+// Beta returns β = (1−ǫ)/(1+ǫ) = pA/q, the geometric ratio of the dominating
+// stationary reach law X∞ (Eq. 9).
+func (p Params) Beta() float64 { return (1 - p.Epsilon) / (1 + p.Epsilon) }
+
+// Bivalent reports whether ph = 0, i.e. whether samples are bivalent {H,A}
+// strings (the Theorem 2 regime).
+func (p Params) Bivalent() bool { return p.Ph == 0 }
+
+// Sample draws a length-T characteristic string satisfying the
+// (ǫ, ph)-Bernoulli condition using the supplied source.
+func (p Params) Sample(rng *rand.Rand, T int) String {
+	w := make(String, T)
+	pA := p.PA()
+	for t := range w {
+		u := rng.Float64()
+		switch {
+		case u < pA:
+			w[t] = Adversarial
+		case u < pA+p.Ph:
+			w[t] = UniqueHonest
+		default:
+			w[t] = MultiHonest
+		}
+	}
+	return w
+}
+
+// SampleSymbol draws a single symbol under the per-slot law.
+func (p Params) SampleSymbol(rng *rand.Rand) Symbol {
+	u := rng.Float64()
+	pA := p.PA()
+	switch {
+	case u < pA:
+		return Adversarial
+	case u < pA+p.Ph:
+		return UniqueHonest
+	default:
+		return MultiHonest
+	}
+}
+
+// SemiSyncParams is the semi-synchronous per-slot law of Theorem 7:
+// independent symbols over {⊥, h, H, A} with Pr[⊥] = 1 − f.
+type SemiSyncParams struct {
+	PEmpty float64 // p⊥ = 1 − f
+	Ph     float64 // uniquely honest
+	PH     float64 // multiply honest
+	PA     float64 // adversarial
+}
+
+// NewSemiSyncParams validates the four probabilities (they must be
+// non-negative and sum to 1 within a small tolerance).
+func NewSemiSyncParams(pEmpty, ph, pH, pA float64) (SemiSyncParams, error) {
+	s := SemiSyncParams{PEmpty: pEmpty, Ph: ph, PH: pH, PA: pA}
+	sum := pEmpty + ph + pH + pA
+	if pEmpty < 0 || ph < 0 || pH < 0 || pA < 0 || sum < 1-1e-9 || sum > 1+1e-9 {
+		return SemiSyncParams{}, fmt.Errorf("charstring: invalid semi-sync law (⊥=%v h=%v H=%v A=%v, sum=%v)", pEmpty, ph, pH, pA, sum)
+	}
+	return s, nil
+}
+
+// ActiveRate returns f = 1 − p⊥, the per-slot probability that the slot has
+// any leader at all.
+func (s SemiSyncParams) ActiveRate() float64 { return 1 - s.PEmpty }
+
+// Sample draws a length-T semi-synchronous characteristic string.
+func (s SemiSyncParams) Sample(rng *rand.Rand, T int) String {
+	w := make(String, T)
+	for t := range w {
+		u := rng.Float64()
+		switch {
+		case u < s.PEmpty:
+			w[t] = Empty
+		case u < s.PEmpty+s.PA:
+			w[t] = Adversarial
+		case u < s.PEmpty+s.PA+s.Ph:
+			w[t] = UniqueHonest
+		default:
+			w[t] = MultiHonest
+		}
+	}
+	return w
+}
+
+// AdaptiveSampler draws characteristic strings whose symbols need not be
+// independent: at each slot the conditional adversarial probability may
+// depend on the history but is bounded by pA, and conditioned on the slot
+// being honest the probability of unique honesty is at least ph/(1−pA′)
+// for the realized adversarial mass pA′.
+//
+// Such martingale-type laws are stochastically dominated by the
+// (ǫ, ph)-Bernoulli law (Definition 6), so every bound proved for the
+// Bernoulli law transfers (Theorem 1, second part). AdaptiveSampler exists
+// to exercise exactly that transfer in tests: Decide is an arbitrary
+// caller-supplied policy.
+type AdaptiveSampler struct {
+	Base Params
+	// Decide returns the conditional law for slot t given the history
+	// prefix. The returned law must be dominated by Base's per-slot law:
+	// pA′ ≤ pA and pA′ + pH′ ≤ pA + pH. Decide may be nil, in which case
+	// the base law is used unchanged.
+	Decide func(prefix String) (ph, pH, pA float64)
+}
+
+// Sample draws a length-T string under the adaptive law.
+func (a AdaptiveSampler) Sample(rng *rand.Rand, T int) String {
+	w := make(String, 0, T)
+	for t := 0; t < T; t++ {
+		ph, pH, pA := a.Base.Probabilities()
+		if a.Decide != nil {
+			ph, pH, pA = a.Decide(w)
+		}
+		u := rng.Float64()
+		switch {
+		case u < pA:
+			w = append(w, Adversarial)
+		case u < pA+ph:
+			w = append(w, UniqueHonest)
+		default:
+			_ = pH
+			w = append(w, MultiHonest)
+		}
+	}
+	return w
+}

@@ -1,0 +1,155 @@
+// Package core is the high-level facade of the multihonest library: one
+// entry point tying together the exact settlement dynamic program
+// (Section 6.6 / Table 1), the Catalan/UVP certificates (Section 3), the
+// generating-function bounds (Section 5), and confirmation-depth planning —
+// the questions a protocol designer actually asks of the paper.
+package core
+
+import (
+	"fmt"
+
+	"multihonest/internal/catalan"
+	"multihonest/internal/charstring"
+	"multihonest/internal/gf"
+	"multihonest/internal/margin"
+	"multihonest/internal/settlement"
+)
+
+// Analyzer answers consistency questions for one parameter point of the
+// (ǫ, ph)-Bernoulli leader-election law. Construct with New.
+type Analyzer struct {
+	params charstring.Params
+	comp   *settlement.Computer
+}
+
+// New returns an Analyzer for adversarial-slot probability alpha = pA and
+// uniquely honest probability ph (so pH = 1 − alpha − ph).
+func New(alpha, ph float64) (*Analyzer, error) {
+	p, err := charstring.ParamsFromAlpha(alpha, ph)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{params: p, comp: settlement.New(p)}, nil
+}
+
+// FromParams returns an Analyzer for an existing parameter point.
+func FromParams(p charstring.Params) *Analyzer {
+	return &Analyzer{params: p, comp: settlement.New(p)}
+}
+
+// Params returns the parameter point.
+func (a *Analyzer) Params() charstring.Params { return a.params }
+
+// SettlementFailure returns the exact probability that a slot is still
+// unsettled k slots later against an optimal adversary (the Table 1
+// quantity, worst-case over the past via the X∞ initial-reach law).
+func (a *Analyzer) SettlementFailure(k int) (float64, error) {
+	return a.comp.ViolationProbability(k)
+}
+
+// SettlementCurve returns the failure probability for every horizon 1..k.
+func (a *Analyzer) SettlementCurve(k int) ([]float64, error) {
+	return a.comp.ViolationCurve(k)
+}
+
+// ConfirmationDepth returns the smallest k whose settlement-failure
+// probability is certified at most target, searching up to kmax; it errors
+// when even kmax does not reach the target.
+//
+// The certificate is the rigorous linear-time upper bound of
+// settlement.ViolationCurveUpper (exact up to a slack below target/100),
+// so the returned depth is safe and at most negligibly conservative; large
+// kmax stays cheap, unlike the O(k³) exact DP.
+func (a *Analyzer) ConfirmationDepth(target float64, kmax int) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("core: target %v outside (0,1)", target)
+	}
+	cap := a.comp.CapForTarget(target)
+	// Doubling search keeps the common small-depth case fast.
+	last := 0.0
+	for span := min(256, kmax); ; span = min(span*2, kmax) {
+		curve, err := a.comp.ViolationCurveUpper(span, cap)
+		if err != nil {
+			return 0, err
+		}
+		for k, p := range curve {
+			if p <= target {
+				return k + 1, nil
+			}
+		}
+		last = curve[span-1]
+		if span == kmax {
+			break
+		}
+	}
+	return 0, fmt.Errorf("core: failure bound %.3g at k=%d still above target %.3g", last, kmax, target)
+}
+
+// ThresholdRegime names which published analyses cover a parameter point.
+type ThresholdRegime struct {
+	PraosGenesis bool // ph − pH > pA  (Praos, Genesis: e^{−Θ(k)})
+	SleepySnow   bool // ph > pA       (Sleepy, Snow White: e^{−Θ(√k)})
+	ThisPaper    bool // ph + pH > pA  (this paper: e^{−Θ(k)})
+	Consistency  bool // ph + pH > pA is also necessary; false means unsafe
+}
+
+// Regime classifies the parameter point against the security thresholds
+// compared in the paper's introduction.
+func (a *Analyzer) Regime() ThresholdRegime {
+	ph, pH, pA := a.params.Probabilities()
+	r := ThresholdRegime{
+		PraosGenesis: ph-pH > pA,
+		SleepySnow:   ph > pA,
+		ThisPaper:    ph+pH > pA,
+	}
+	r.Consistency = r.ThisPaper
+	return r
+}
+
+// Bound1Tail returns the analytic upper bound on the probability that a
+// k-slot window lacks a uniquely honest Catalan slot (Bound 1): an
+// e^{−Θ(k)} certificate for settlement whenever ph > 0.
+func (a *Analyzer) Bound1Tail(k int) (float64, error) {
+	b, err := gf.NewBound1(a.params.Epsilon, a.params.Ph, k+1)
+	if err != nil {
+		return 0, err
+	}
+	return b.Tail(k)
+}
+
+// Bound1Rate returns the asymptotic per-slot decay rate of Bound 1:
+// Ω(min(ǫ³, ǫ²ph)) per Theorem 1.
+func (a *Analyzer) Bound1Rate() (float64, error) {
+	return gf.DecayRateBound1(a.params.Epsilon, a.params.Ph)
+}
+
+// Diagnose reports, for a realized characteristic string, the slots
+// certified settled by the UVP machinery and the exact margin verdicts.
+type Diagnosis struct {
+	CatalanSlots  []int // Catalan slots of w
+	UVPSlots      []int // slots with the Unique Vertex Property (Theorem 3)
+	UnsettledAtK  []int // slots s with µ-witnessed k-settlement violations
+	LongestUVPGap int   // longest UVP-free window (CP exposure, Eq. 25)
+}
+
+// Diagnose analyzes a concrete execution string at settlement parameter k.
+func Diagnose(w charstring.String, k int) Diagnosis {
+	sc := catalan.Analyze(w)
+	var d Diagnosis
+	d.CatalanSlots = sc.Slots()
+	last := 0
+	for s := 1; s <= len(w); s++ {
+		if sc.UniquelyHonestCatalan(s) {
+			d.UVPSlots = append(d.UVPSlots, s)
+			d.LongestUVPGap = max(d.LongestUVPGap, s-last-1)
+			last = s
+		}
+	}
+	d.LongestUVPGap = max(d.LongestUVPGap, len(w)-last)
+	for s := 1; s+k <= len(w); s++ {
+		if margin.SettlementViolated(w, s, k) {
+			d.UnsettledAtK = append(d.UnsettledAtK, s)
+		}
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+func TestRegimeClassification(t *testing.T) {
+	cases := []struct {
+		alpha, ph float64
+		want      ThresholdRegime
+	}{
+		// Praos-style: mostly uniquely honest.
+		{0.20, 0.75, ThresholdRegime{PraosGenesis: true, SleepySnow: true, ThisPaper: true, Consistency: true}},
+		// ph < pA: only this paper's threshold applies.
+		{0.30, 0.10, ThresholdRegime{PraosGenesis: false, SleepySnow: false, ThisPaper: true, Consistency: true}},
+		// ph > pA but ph − pH < pA.
+		{0.30, 0.40, ThresholdRegime{PraosGenesis: false, SleepySnow: true, ThisPaper: true, Consistency: true}},
+	}
+	for _, c := range cases {
+		a, err := New(c.alpha, c.ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Regime(); got != c.want {
+			t.Errorf("Regime(α=%v, ph=%v) = %+v, want %+v", c.alpha, c.ph, got, c.want)
+		}
+	}
+}
+
+func TestConfirmationDepth(t *testing.T) {
+	a, err := New(0.20, 0.8*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := a.ConfirmationDepth(1e-9, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.SettlementFailure(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 > 1e-9 {
+		t.Fatalf("depth %d fails target: %v", k, p1)
+	}
+	if k > 1 {
+		curve, err := a.SettlementCurve(k - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if curve[k-2] <= 1e-9 {
+			t.Fatalf("depth %d not minimal", k)
+		}
+	}
+	if _, err := a.ConfirmationDepth(1e-300, 50); err == nil {
+		t.Error("unreachable target must error")
+	}
+	if _, err := a.ConfirmationDepth(2, 50); err == nil {
+		t.Error("invalid target accepted")
+	}
+}
+
+func TestBound1DominatesExact(t *testing.T) {
+	a, err := New(0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{50, 150, 300} {
+		exact, err := a.SettlementFailure(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := a.Bound1Tail(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound < exact {
+			t.Errorf("k=%d: analytic bound %.3e below exact %.3e", k, bound, exact)
+		}
+	}
+	rate, err := a.Bound1Rate()
+	if err != nil || rate <= 0 {
+		t.Fatalf("rate %v err %v", rate, err)
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	w := charstring.MustParse("hhhhhhAAhh")
+	d := Diagnose(w, 3)
+	// Walk: −1..−6, −5, −4, −5, −6: slots 1..4 are Catalan (strict new
+	// minima never re-attained); the A-run spoils the rest.
+	if len(d.CatalanSlots) != 4 {
+		t.Fatalf("Catalan slots = %v, want {1,2,3,4}", d.CatalanSlots)
+	}
+	if d.LongestUVPGap != 6 {
+		t.Fatalf("UVP gap = %d, want 6", d.LongestUVPGap)
+	}
+	if len(d.UnsettledAtK) == 0 {
+		t.Fatal("the adversarial tail should unsettle late slots")
+	}
+}

@@ -1,0 +1,76 @@
+// Package cp implements the common-prefix analysis of Section 9 of the
+// paper: the slot-indexed property k-CP^slot (Definition 24), its
+// UVP-window characterization (implication 25), the Theorem 8 union bound,
+// and the slot-divergence route of Appendix A.
+//
+// A k-CP violation (truncating k blocks) implies a k-CP^slot violation
+// (truncating k slots), so bounding the latter rules out both.
+package cp
+
+import (
+	"multihonest/internal/catalan"
+	"multihonest/internal/charstring"
+	"multihonest/internal/margin"
+)
+
+// UVPFreeWindow returns the length of the longest window of w that
+// contains no slot with the UVP, under the selected tie-breaking model.
+// UVP certificates come from the exact uniquely-honest-Catalan
+// characterization (Theorem 3) and, with consistent ties, the
+// consecutive-Catalan-pair rule (Theorem 4).
+//
+// By implication (25), w can only violate k-CP^slot if this length is
+// at least k; the returned value therefore certifies k-CP^slot for every
+// k exceeding it.
+func UVPFreeWindow(w charstring.String, consistentTies bool) int {
+	sc := catalan.Analyze(w)
+	longest, last := 0, 0 // last = most recent UVP slot
+	for s := 1; s <= len(w); s++ {
+		if sc.HasUVP(s, consistentTies) {
+			longest = max(longest, s-last-1)
+			last = s
+		}
+	}
+	return max(longest, len(w)-last)
+}
+
+// ViolationPossible reports whether w admits a k-CP^slot violation witness
+// in the margin sense used by Theorem 8's proof: some window of length ≥ k
+// with no UVP slot. Its negation certifies k-CP^slot (and hence k-CP).
+//
+// The test is conservative in the safe direction: if it returns false, no
+// fork for w violates k-CP^slot.
+func ViolationPossible(w charstring.String, k int, consistentTies bool) bool {
+	return UVPFreeWindow(w, consistentTies) >= k
+}
+
+// UVPFreeWindowExact computes the longest UVP-free window using the exact
+// Lemma 1 margin characterization for uniquely honest slots (O(T²) instead
+// of the O(T) Catalan certificate, but exact for adversarial
+// tie-breaking). With adversarial ties the two agree by Theorem 3; the
+// duplication exists to cross-validate that equivalence in tests.
+func UVPFreeWindowExact(w charstring.String) int {
+	longest, last := 0, 0
+	for s := 1; s <= len(w); s++ {
+		if margin.HasUVP(w, s) {
+			longest = max(longest, s-last-1)
+			last = s
+		}
+	}
+	return max(longest, len(w)-last)
+}
+
+// SomeSlotUnsettled reports whether any slot of w fails to be k-settled in
+// the margin sense (Observation 2 with Fact 6): whether there exists a
+// decomposition w = xyz with |y| ≥ k+1 and µ_x(y) ≥ 0. This is the union
+// event over s that Theorem 8's proof bounds by T·e^{−Ω(k)}, and it is the
+// route through which slot divergence exceeding k (Appendix A, Theorem 9)
+// manifests.
+func SomeSlotUnsettled(w charstring.String, k int) bool {
+	for s := 1; s+k <= len(w); s++ {
+		if margin.SettlementViolated(w, s, k) {
+			return true
+		}
+	}
+	return false
+}

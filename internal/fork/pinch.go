@@ -1,0 +1,41 @@
+package fork
+
+import "fmt"
+
+// Pinch returns the fork F^{⊲u⊳} of Appendix A: a copy of f in which every
+// edge into a vertex of depth depth(u)+1 is redirected to originate from u,
+// so that all tines longer than depth(u) pass through u. Depths and labels
+// of all vertices are unchanged.
+//
+// The operation is label-sound only when every vertex at depth(u)+1 has a
+// label exceeding ℓ(u) — in the paper's use, u is the unique vertex of its
+// depth (an honest vertex at the divergence point), which guarantees this;
+// Pinch verifies it and errors otherwise.
+func (f *Fork) Pinch(u *Vertex) (*Fork, error) {
+	if u.id >= len(f.vertices) || f.vertices[u.id] != u {
+		return nil, fmt.Errorf("fork: pinch vertex does not belong to this fork")
+	}
+	for _, v := range f.vertices {
+		if v.depth == u.depth+1 && v.label <= u.label {
+			return nil, fmt.Errorf("fork: pinch at label %d would break label order at vertex %d (label %d)",
+				u.label, v.id, v.label)
+		}
+	}
+	g := f.Clone()
+	gu := g.vertices[u.id]
+	for _, v := range g.vertices {
+		if v.depth != u.depth+1 || v.parent == gu {
+			continue
+		}
+		old := v.parent
+		for i, c := range old.children {
+			if c == v {
+				old.children = append(old.children[:i], old.children[i+1:]...)
+				break
+			}
+		}
+		v.parent = gu
+		gu.children = append(gu.children, v)
+	}
+	return g, nil
+}

@@ -1,0 +1,350 @@
+// Package game implements the (D, T; s, k)-settlement game of Section 2.2
+// of the paper as an explicit challenger/adversary protocol: the challenger
+// plays the honest participants (deterministically, as the paper notes),
+// the adversary extends forks at adversarial slots, chooses the honest
+// extension points by resolving longest-chain ties, and picks the number of
+// vertices awarded to multiply honest slots.
+//
+// The engine enforces the game's rules — honest vertices go at the end of
+// maximum-length tines, adversarial augmentation must preserve fork
+// validity — so a Player cannot cheat; package adversary's A* plugs in as
+// the provably optimal Player.
+package game
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multihonest/internal/adversary"
+	"multihonest/internal/charstring"
+	"multihonest/internal/fork"
+)
+
+// Move describes the adversary's instruction for one honest slot: which
+// tines the challenger must extend (identified by terminal vertex) after
+// the adversary's optional augmentation. Every listed vertex must head a
+// maximum-length tine at extension time; the challenger verifies this.
+type Move struct {
+	// Extend lists the tines to receive an honest vertex; multiply honest
+	// slots may list several (k ≥ 1 of the game), uniquely honest slots
+	// exactly one. Entries may repeat a vertex to request sibling honest
+	// vertices.
+	Extend []*fork.Vertex
+}
+
+// Player is a settlement-game adversary. Augment runs before every slot
+// (the "adversarial augmentation" step (c) plus, at A slots, step (b)):
+// the player may graft adversarial vertices onto the fork. ChooseHonest
+// runs at honest slots to pick the extension points.
+type Player interface {
+	Name() string
+	// Augment may add adversarial vertices (only with labels of already
+	// revealed adversarial slots) to the fork. The fork is shared; the
+	// engine re-validates after the call.
+	Augment(f *fork.Fork, slot int, sym charstring.Symbol)
+	// ChooseHonest returns the Move for an honest slot.
+	ChooseHonest(f *fork.Fork, slot int, sym charstring.Symbol) (Move, error)
+}
+
+// Result reports the game outcome for a target slot s and parameter k.
+type Result struct {
+	Fork        *fork.Fork
+	SlotsPlayed int
+	// Won reports whether the final fork contains two maximum-length tines
+	// that are edge-disjoint past s−1: the settlement violation the game
+	// is about (Observation 2's x-balanced witness).
+	Won bool
+}
+
+// Play runs the game over the characteristic string w for target slot s,
+// measuring victory at the end of the string (callers choose |w| ≥ s+k).
+// The engine enforces the challenger's rules and returns an error if the
+// player makes an illegal move.
+func Play(w charstring.String, s int, player Player) (*Result, error) {
+	if s < 1 || s > len(w) {
+		return nil, fmt.Errorf("game: target slot %d outside [1,%d]", s, len(w))
+	}
+	f := fork.New(nil)
+	for t := 1; t <= len(w); t++ {
+		sym := w[t-1]
+		f.AppendSymbol(sym)
+		player.Augment(f, t, sym)
+		if !sym.Honest() {
+			if err := f.Validate(); err != nil {
+				return nil, fmt.Errorf("game: %s made fork invalid at slot %d: %w", player.Name(), t, err)
+			}
+			continue
+		}
+		mv, err := player.ChooseHonest(f, t, sym)
+		if err != nil {
+			return nil, err
+		}
+		if len(mv.Extend) == 0 {
+			return nil, fmt.Errorf("game: honest slot %d received no extension", t)
+		}
+		if sym == charstring.UniqueHonest && len(mv.Extend) != 1 {
+			return nil, fmt.Errorf("game: uniquely honest slot %d must extend exactly one tine", t)
+		}
+		// Challenger rule: honest vertices extend maximum-length tines.
+		height := f.Height()
+		for _, v := range mv.Extend {
+			if v.Depth() != height {
+				return nil, fmt.Errorf("game: %s extended a non-maximal tine (depth %d < %d) at slot %d",
+					player.Name(), v.Depth(), height, t)
+			}
+		}
+		for _, v := range mv.Extend {
+			if _, err := f.AddVertex(v, t); err != nil {
+				return nil, err
+			}
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("game: %s made fork invalid at slot %d: %w", player.Name(), t, err)
+		}
+	}
+	// Final augmentation: the adversary may pad the fork once more before
+	// presenting it to the observer (game step (c) after the last slot).
+	if fa, ok := player.(FinalAugmenter); ok {
+		fa.FinalAugment(f, s)
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("game: %s made fork invalid in final augmentation: %w", player.Name(), err)
+		}
+	}
+	return &Result{Fork: f, SlotsPlayed: len(w), Won: f.IsXBalanced(s - 1)}, nil
+}
+
+// FinalAugmenter is an optional Player extension: one last adversarial
+// augmentation after the final slot, used to pad witness tines to maximal
+// length before the observer inspects the fork.
+type FinalAugmenter interface {
+	FinalAugment(f *fork.Fork, s int)
+}
+
+// AStarPlayer adapts the optimal online adversary to the game interface:
+// it mirrors the engine's fork with its own A* run, grafts the planned
+// conservative pads during Augment, and directs the honest extensions onto
+// the pad tips. By Theorem 6 it wins the game for target slot s exactly
+// when µ_x(y) ≥ 0 for the realized string.
+type AStarPlayer struct {
+	astar *adversary.AStar
+	// mirror maps the A* fork's vertex IDs to engine-fork vertices.
+	mirror map[int]*fork.Vertex
+	// pending holds engine-side pad tips for the upcoming honest slot.
+	pending []*fork.Vertex
+	// deferred holds honest-vertex bindings resolved after the challenger
+	// has added the vertices (on the next Augment call).
+	deferred []deferredBind
+}
+
+type deferredBind struct {
+	astarID int
+	parent  *fork.Vertex
+	label   int
+}
+
+// NewAStarPlayer returns a fresh optimal player.
+func NewAStarPlayer() *AStarPlayer {
+	return &AStarPlayer{astar: adversary.NewAStar(), mirror: map[int]*fork.Vertex{}}
+}
+
+// Name implements Player.
+func (p *AStarPlayer) Name() string { return "A*" }
+
+// resolveDeferred binds A*-fork honest vertices to the engine vertices the
+// challenger created for them.
+func (p *AStarPlayer) resolveDeferred() error {
+	for _, d := range p.deferred {
+		v := childWithLabel(d.parent, d.label, p.mirror)
+		if v == nil {
+			return fmt.Errorf("game: missing honest child labeled %d", d.label)
+		}
+		p.mirror[d.astarID] = v
+	}
+	p.deferred = nil
+	return nil
+}
+
+// Augment implements Player: at honest slots it grafts the planned pads.
+func (p *AStarPlayer) Augment(f *fork.Fork, slot int, sym charstring.Symbol) {
+	if p.mirror[0] == nil {
+		p.mirror[0] = f.Root()
+	}
+	if err := p.resolveDeferred(); err != nil {
+		return // surfaces as an illegal move downstream
+	}
+	p.pending = nil
+	if !sym.Honest() {
+		// Bank the adversarial slot in the mirrored fork (reserve grows).
+		_ = p.astar.Step(sym)
+		return
+	}
+	plan, err := p.astar.Plan(sym)
+	if err != nil {
+		return
+	}
+	for _, ext := range plan {
+		cur := p.mirror[ext.Target.ID()]
+		for _, l := range ext.PadLabels {
+			v, err := f.AddVertex(cur, l)
+			if err != nil {
+				return
+			}
+			cur = v
+		}
+		p.pending = append(p.pending, cur)
+	}
+}
+
+// ChooseHonest implements Player: extend the pad tips laid down by Augment,
+// then advance the mirrored A* fork and bind the new vertices.
+func (p *AStarPlayer) ChooseHonest(f *fork.Fork, slot int, sym charstring.Symbol) (Move, error) {
+	if len(p.pending) == 0 {
+		return Move{}, fmt.Errorf("game: A* player has no pending extension at slot %d", slot)
+	}
+	mv := Move{Extend: p.pending}
+	plan, err := p.astar.Plan(sym) // Step recomputes this identical plan
+	if err != nil {
+		return Move{}, err
+	}
+	before := p.astar.Fork().Len()
+	if err := p.astar.Step(sym); err != nil {
+		return Move{}, err
+	}
+	vs := p.astar.Fork().Vertices()[before:]
+	vi := 0
+	for i, ext := range plan {
+		cur := p.mirror[ext.Target.ID()]
+		for range ext.PadLabels {
+			av := vs[vi]
+			vi++
+			// Engine-side pads were added by Augment under cur in the same
+			// label order.
+			cur = childWithLabel(cur, av.Label(), p.mirror)
+			if cur == nil {
+				return Move{}, fmt.Errorf("game: lost pad mirror at slot %d", slot)
+			}
+			p.mirror[av.ID()] = cur
+		}
+		hv := vs[vi]
+		vi++
+		p.deferred = append(p.deferred, deferredBind{astarID: hv.ID(), parent: p.pending[i], label: slot})
+	}
+	return mv, nil
+}
+
+func childWithLabel(parent *fork.Vertex, label int, taken map[int]*fork.Vertex) *fork.Vertex {
+	used := map[*fork.Vertex]bool{}
+	for _, v := range taken {
+		used[v] = true
+	}
+	for _, c := range parent.Children() {
+		if c.Label() == label && !used[c] {
+			return c
+		}
+	}
+	return nil
+}
+
+// FinalAugment pads a non-negative-reach witness pair for x = w[:s−1] to
+// maximal length, realizing the x-balanced fork of Fact 6 whenever
+// µ_x(y) ≥ 0.
+func (p *AStarPlayer) FinalAugment(f *fork.Fork, s int) {
+	if err := p.resolveDeferred(); err != nil {
+		return
+	}
+	af := p.astar.Fork()
+	rs, err := af.Reaches()
+	if err != nil {
+		return
+	}
+	mu, err := af.RelativeMargin(s - 1)
+	if err != nil || mu < 0 {
+		return
+	}
+	t1, t2 := witnessPair(af, rs, s-1)
+	if t1 == nil {
+		return
+	}
+	height := af.Height()
+	w := af.String()
+	pad := func(u *fork.Vertex, need int) {
+		cur := p.mirror[u.ID()]
+		if cur == nil {
+			return
+		}
+		for l := u.Label() + 1; l <= len(w) && need > 0; l++ {
+			if w[l-1] == charstring.Adversarial {
+				v, err := f.AddVertex(cur, l)
+				if err != nil {
+					return
+				}
+				cur = v
+				need--
+			}
+		}
+	}
+	if t1 != t2 {
+		pad(t1, height-t1.Depth())
+		pad(t2, height-t2.Depth())
+	} else {
+		need := max(height-t1.Depth(), 1)
+		pad(t1, need)
+		pad(t1, need)
+	}
+}
+
+// witnessPair finds two tines, edge-disjoint past xlen, both with
+// non-negative reach (preferring distinct tines).
+func witnessPair(f *fork.Fork, rs []fork.Reach, xlen int) (*fork.Vertex, *fork.Vertex) {
+	vs := f.Vertices()
+	for i, u := range vs {
+		if rs[u.ID()].Reach < 0 {
+			continue
+		}
+		for _, v := range vs[i+1:] {
+			if rs[v.ID()].Reach >= 0 && fork.LCA(u, v).Label() <= xlen {
+				return u, v
+			}
+		}
+	}
+	for _, u := range vs {
+		if rs[u.ID()].Reach >= 0 && u.Label() <= xlen {
+			return u, u
+		}
+	}
+	return nil, nil
+}
+
+var _ Player = (*AStarPlayer)(nil)
+var _ FinalAugmenter = (*AStarPlayer)(nil)
+
+// GreedyPlayer is a naive baseline: it never augments and always extends
+// the first maximum-length tine (double-extending it on multiply honest
+// slots), modeling an adversary who wastes its slots.
+type GreedyPlayer struct{ rng *rand.Rand }
+
+// NewGreedyPlayer returns a baseline player; rng may be nil for the
+// deterministic first-tine rule.
+func NewGreedyPlayer(rng *rand.Rand) *GreedyPlayer { return &GreedyPlayer{rng: rng} }
+
+// Name implements Player.
+func (g *GreedyPlayer) Name() string { return "greedy" }
+
+// Augment implements Player (no augmentation).
+func (g *GreedyPlayer) Augment(*fork.Fork, int, charstring.Symbol) {}
+
+// ChooseHonest implements Player.
+func (g *GreedyPlayer) ChooseHonest(f *fork.Fork, slot int, sym charstring.Symbol) (Move, error) {
+	deep := f.DeepestVertices()
+	pick := deep[0]
+	if g.rng != nil {
+		pick = deep[g.rng.Intn(len(deep))]
+	}
+	mv := Move{Extend: []*fork.Vertex{pick}}
+	if sym == charstring.MultiHonest && len(deep) > 1 {
+		mv.Extend = append(mv.Extend, deep[1])
+	}
+	return mv, nil
+}
+
+var _ Player = (*GreedyPlayer)(nil)

@@ -1,0 +1,96 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/fork"
+	"multihonest/internal/margin"
+)
+
+// TestAStarWinsExactlyAtNonNegativeMargin: the optimal player wins the
+// (D,T; s,k)-settlement game exactly when the realized string's relative
+// margin is non-negative (Theorem 6 with Fact 6) — and the challenger's
+// rule enforcement accepts every move it makes.
+func TestAStarWinsExactlyAtNonNegativeMargin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	laws := []charstring.Params{
+		charstring.MustParams(0.1, 0.2),
+		charstring.MustParams(0.3, 0),
+	}
+	wins, losses := 0, 0
+	for _, law := range laws {
+		for trial := 0; trial < 50; trial++ {
+			w := law.Sample(rng, 40)
+			s := 1 + rng.Intn(8)
+			res, err := Play(w, s, NewAStarPlayer())
+			if err != nil {
+				t.Fatalf("trial %d (w=%v, s=%d): %v", trial, w, s, err)
+			}
+			want := margin.RelativeMargin(w, s-1) >= 0
+			if res.Won != want {
+				t.Fatalf("w=%v s=%d: game won=%v, margin verdict %v", w, s, res.Won, want)
+			}
+			if res.Won {
+				wins++
+			} else {
+				losses++
+			}
+		}
+	}
+	if wins == 0 || losses == 0 {
+		t.Fatalf("degenerate coverage: wins=%d losses=%d", wins, losses)
+	}
+}
+
+// TestGreedyNeverBeatsAStar: the baseline player cannot win a game the
+// optimal player loses (Proposition 1 caps every strategy by the margin).
+func TestGreedyNeverBeatsAStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	law := charstring.MustParams(0.1, 0.3)
+	greedyWins, astarWins := 0, 0
+	for trial := 0; trial < 80; trial++ {
+		w := law.Sample(rng, 30)
+		s := 1 + rng.Intn(5)
+		gres, err := Play(w, s, NewGreedyPlayer(rand.New(rand.NewSource(int64(trial)))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal := margin.RelativeMargin(w, s-1) >= 0
+		if gres.Won {
+			greedyWins++
+			if !optimal {
+				t.Fatalf("greedy exceeded the optimal bound on %v at s=%d", w, s)
+			}
+		}
+		if optimal {
+			astarWins++
+		}
+	}
+	if greedyWins > astarWins {
+		t.Fatalf("baseline beat the optimum: %d > %d", greedyWins, astarWins)
+	}
+}
+
+// TestChallengerRejectsIllegalMoves: extending a non-maximal tine or
+// multi-extending a uniquely honest slot is rejected by the engine.
+func TestChallengerRejectsIllegalMoves(t *testing.T) {
+	w := charstring.MustParse("hh")
+	if _, err := Play(w, 1, badPlayer{}); err == nil {
+		t.Fatal("illegal move accepted")
+	}
+	if _, err := Play(charstring.MustParse("h"), 5, NewAStarPlayer()); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+// badPlayer extends the root forever, violating the maximal-tine rule once
+// the fork has height ≥ 1.
+type badPlayer struct{}
+
+func (badPlayer) Name() string                               { return "bad" }
+func (badPlayer) Augment(*fork.Fork, int, charstring.Symbol) {}
+func (badPlayer) ChooseHonest(f *fork.Fork, slot int, sym charstring.Symbol) (Move, error) {
+	return Move{Extend: []*fork.Vertex{f.Root()}}, nil
+}

@@ -1,0 +1,172 @@
+// Package mc is the Monte-Carlo experiment harness: seeded, reproducible
+// estimation of the paper's stochastic events by sampling characteristic
+// strings and applying the exact per-string verdicts from packages catalan,
+// margin, cp and deltasync. Each experiment corresponds to an entry of the
+// DESIGN.md experiment index (E1–E6) and feeds EXPERIMENTS.md.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multihonest/internal/catalan"
+	"multihonest/internal/charstring"
+	"multihonest/internal/cp"
+	"multihonest/internal/deltasync"
+	"multihonest/internal/margin"
+	"multihonest/internal/stats"
+)
+
+// Estimate is a Monte-Carlo frequency with its Wilson 95% interval.
+type Estimate struct {
+	Hits, N int
+	P       float64
+	Lo, Hi  float64
+}
+
+func newEstimate(hits, n int) Estimate {
+	lo, hi := stats.Wilson(hits, n)
+	return Estimate{Hits: hits, N: n, P: float64(hits) / float64(n), Lo: lo, Hi: hi}
+}
+
+// String renders the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] (%d/%d)", e.P, e.Lo, e.Hi, e.Hits, e.N)
+}
+
+// NoUniquelyHonestCatalan estimates the Bound 1 event: a k-slot window
+// starting at slot s contains no uniquely honest Catalan slot of the whole
+// string. The sampled string extends tail slots past the window so that
+// right-Catalan status is effectively decided (the probability that the
+// walk returns after the tail decays geometrically).
+func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64) Estimate {
+	rng := rand.New(rand.NewSource(seed))
+	T := s - 1 + k + tail
+	hits := 0
+	for i := 0; i < n; i++ {
+		w := p.Sample(rng, T)
+		sc := catalan.Analyze(w)
+		found := false
+		for c := s; c <= s-1+k; c++ {
+			if sc.UniquelyHonestCatalan(c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			hits++
+		}
+	}
+	return newEstimate(hits, n)
+}
+
+// NoConsecutiveCatalan estimates the Bound 2 event on bivalent strings: a
+// k-slot window with no two consecutive Catalan slots.
+func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64) Estimate {
+	p := charstring.MustParams(epsilon, 0)
+	rng := rand.New(rand.NewSource(seed))
+	T := s - 1 + k + tail
+	hits := 0
+	for i := 0; i < n; i++ {
+		w := p.Sample(rng, T)
+		sc := catalan.Analyze(w)
+		found := false
+		for c := s; c <= s-2+k; c++ {
+			if sc.ConsecutivePairAt(c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			hits++
+		}
+	}
+	return newEstimate(hits, n)
+}
+
+// SettlementViolation estimates Pr[µ_x(y) ≥ 0] for |x| = m, |y| = k — the
+// Table 1 event with a finite prefix. It cross-validates the exact DP.
+func SettlementViolation(p charstring.Params, m, k, n int, seed int64) Estimate {
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < n; i++ {
+		w := p.Sample(rng, m+k)
+		if margin.RelativeMargin(w, m) >= 0 {
+			hits++
+		}
+	}
+	return newEstimate(hits, n)
+}
+
+// ConsistentTiesUnsettled estimates the settlement failure certificate
+// under axiom A0′ at ph = 0 (the Theorem 2 regime): the window [s, s+k−1]
+// has no consecutive-Catalan UVP certificate.
+func ConsistentTiesUnsettled(epsilon float64, s, k, tail, n int, seed int64) Estimate {
+	return NoConsecutiveCatalan(epsilon, s, k, tail, n, seed)
+}
+
+// CPViolationPossible estimates the Theorem 8 event: the sampled string has
+// a UVP-free window of length ≥ k, so some fork may violate k-CP^slot.
+func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool) Estimate {
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < n; i++ {
+		w := p.Sample(rng, T)
+		if cp.ViolationPossible(w, k, consistentTies) {
+			hits++
+		}
+	}
+	return newEstimate(hits, n)
+}
+
+// DeltaUnsettled estimates the Theorem 7 event: slot s of a
+// semi-synchronous execution lacks the Lemma 2 (k, Δ)-settlement
+// certificate. Sampling conditions on slot s having a leader (settlement
+// of an empty slot is vacuous).
+func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed int64) (Estimate, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// The certificate needs a window of k *reduced* (non-empty) slots plus
+	// slack; at activity rate f that takes about k/f real slots.
+	f := sp.ActiveRate()
+	if f <= 0 {
+		return Estimate{}, fmt.Errorf("mc: zero activity rate")
+	}
+	T := s + int(float64(2*k+tail)/f) + delta
+	hits, tries := 0, 0
+	for tries < n {
+		w := sp.Sample(rng, T)
+		if w[s-1] == charstring.Empty {
+			w[s-1] = charstring.UniqueHonest // condition on a leader at s
+		}
+		tries++
+		ok, err := deltasync.Settled(w, s, k, delta)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if !ok {
+			hits++
+		}
+	}
+	return newEstimate(hits, n), nil
+}
+
+// Series sweeps a horizon list, returning one estimate per k.
+func Series(ks []int, f func(k int) Estimate) []Estimate {
+	out := make([]Estimate, len(ks))
+	for i, k := range ks {
+		out[i] = f(k)
+	}
+	return out
+}
+
+// DecayRate fits an exponential decay to (k, estimate) pairs, ignoring
+// zero-hit entries.
+func DecayRate(ks []int, es []Estimate) (stats.FitResult, error) {
+	xs := make([]float64, len(ks))
+	ys := make([]float64, len(es))
+	for i := range ks {
+		xs[i] = float64(ks[i])
+		ys[i] = es[i].P
+	}
+	return stats.FitExpDecay(xs, ys)
+}

@@ -1,0 +1,94 @@
+package mc
+
+import (
+	"testing"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/settlement"
+)
+
+// TestSettlementViolationMatchesDP cross-validates the Monte-Carlo
+// estimator against the exact dynamic program at parameters where the
+// probability is large enough to measure.
+func TestSettlementViolationMatchesDP(t *testing.T) {
+	p := charstring.MustParams(1-2*0.30, 0.25*(1-0.30)) // α=0.30, frac=0.25
+	const m, k, n = 600, 100, 30000
+	est := SettlementViolation(p, m, k, n, 17)
+	exact, err := settlement.New(p).ViolationProbability(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1 cell: 1.65E-02. The finite prefix m=600 is effectively
+	// stationary here (β = α/(1−α) ≈ 0.43, β^600 ≈ 0).
+	if exact < est.Lo-0.002 || exact > est.Hi+0.002 {
+		t.Fatalf("DP %.4g outside MC interval %v", exact, est)
+	}
+}
+
+// TestBoundEventsDecay: the no-Catalan events must decay with k.
+func TestBoundEventsDecay(t *testing.T) {
+	p := charstring.MustParams(0.4, 0.4)
+	e20 := NoUniquelyHonestCatalan(p, 30, 20, 100, 4000, 3)
+	e60 := NoUniquelyHonestCatalan(p, 30, 60, 100, 4000, 3)
+	if e60.P > e20.P {
+		t.Fatalf("Bound-1 event grew with k: %v vs %v", e60, e20)
+	}
+	b20 := NoConsecutiveCatalan(0.5, 30, 20, 100, 4000, 4)
+	b80 := NoConsecutiveCatalan(0.5, 30, 80, 100, 4000, 4)
+	if b80.P > b20.P {
+		t.Fatalf("Bound-2 event grew with k: %v vs %v", b80, b20)
+	}
+}
+
+// TestCPDecay: CP-violation possibility decays in k and is helped by
+// consistent ties at ph = 0.
+func TestCPDecay(t *testing.T) {
+	p := charstring.MustParams(0.4, 0)
+	adv := CPViolationPossible(p, 300, 40, 800, 5, false)
+	con := CPViolationPossible(p, 300, 40, 800, 5, true)
+	if con.P > adv.P {
+		t.Fatalf("consistent ties made things worse: %v vs %v", con, adv)
+	}
+	if adv.P < 0.99 {
+		t.Fatalf("bivalent strings under adversarial ties should almost always be exposed: %v", adv)
+	}
+	// Consistent ties give a certificate that improves with k.
+	conLong := CPViolationPossible(p, 300, 90, 800, 5, true)
+	if conLong.P >= con.P {
+		t.Fatalf("consistent-ties exposure should decay in k: %v at k=90 vs %v at k=40", conLong, con)
+	}
+}
+
+// TestDeltaUnsettledMonotoneInDelta: larger delays can only hurt.
+func TestDeltaUnsettledMonotoneInDelta(t *testing.T) {
+	sp, err := charstring.NewSemiSyncParams(0.8, 0.12, 0.03, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for _, delta := range []int{0, 2, 6} {
+		est, err := DeltaUnsettled(sp, delta, 10, 60, 200, 3000, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.P+0.03 < prev {
+			t.Fatalf("unsettled rate decreased with delay at Δ=%d: %v after %v", delta, est.P, prev)
+		}
+		prev = est.P
+	}
+}
+
+func TestSeriesAndDecayRate(t *testing.T) {
+	p := charstring.MustParams(0.5, 0.5)
+	ks := []int{10, 20, 30, 40}
+	es := Series(ks, func(k int) Estimate {
+		return SettlementViolation(p, 100, k, 8000, 21)
+	})
+	fit, err := DecayRate(ks, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Rate <= 0 {
+		t.Fatalf("settlement error should decay: %+v (series %v)", fit, es)
+	}
+}

@@ -1,0 +1,270 @@
+// Package settlement computes exact settlement-violation probabilities for
+// the abstract leader-election process, implementing the dynamic program of
+// Section 6.6 of the paper over the joint (reach, relative margin) chain of
+// Theorem 5.
+//
+// For i.i.d. characteristic symbols with law (pA, ph, pH), the probability
+// that slot m+1 incurs a k-settlement violation equals Pr[µ_x(y) ≥ 0] for
+// |x| = m, |y| = k. With |x| → ∞ the initial reach follows the dominating
+// geometric law X∞ (Eq. 9); this is the quantity tabulated in Table 1.
+//
+// The DP state is capped without loss of exactness: both coordinates move
+// by at most one per step, so pooling all reach mass ≥ k+1 (and margin mass
+// ≥ k+1) into a saturated cell cannot affect any ==0 test or the final sign
+// of the margin within a k-step horizon.
+package settlement
+
+import (
+	"fmt"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/walk"
+)
+
+// Computer evaluates settlement-violation probabilities for one parameter
+// point. Construct with New; the zero value is not usable.
+type Computer struct {
+	params charstring.Params
+}
+
+// New returns a Computer for the (ǫ, ph)-Bernoulli law.
+func New(p charstring.Params) *Computer { return &Computer{params: p} }
+
+// Params returns the parameter point.
+func (c *Computer) Params() charstring.Params { return c.params }
+
+// grid is the capped joint law of (r, s) = (ρ(xy..t), µ_x(y..t)).
+// r ∈ [0, rmax] with rmax saturated; s ∈ [-k, smax] with smax saturated.
+type grid struct {
+	k    int
+	rmax int       // = k+1
+	smax int       // = k+1
+	p    []float64 // p[r*(width)+(s+k)] with width = smax+k+1
+}
+
+func newGrid(k int) *grid {
+	g := &grid{k: k, rmax: k + 1, smax: k + 1}
+	g.p = make([]float64, (g.rmax+1)*(g.smax+g.k+1))
+	return g
+}
+
+func (g *grid) width() int { return g.smax + g.k + 1 }
+
+func (g *grid) at(r, s int) float64 { return g.p[r*g.width()+(s+g.k)] }
+
+func (g *grid) add(r, s int, v float64) {
+	if r > g.rmax {
+		r = g.rmax
+	}
+	if s > g.smax {
+		s = g.smax
+	}
+	if s < -g.k {
+		// Margin below −k cannot occur from a non-negative start within k
+		// steps; guard anyway to keep the DP total-mass invariant.
+		s = -g.k
+	}
+	g.p[r*g.width()+(s+g.k)] += v
+}
+
+// ViolationProbability returns Pr[µ_x(y) ≥ 0] for |y| = k under the
+// |x| → ∞ initial reach law X∞ — the Table 1 quantity: the probability
+// that a fixed slot, observed k slots later, is still unsettled against an
+// optimal adversary.
+func (c *Computer) ViolationProbability(k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
+	}
+	probs, err := c.ViolationCurve(k)
+	if err != nil {
+		return 0, err
+	}
+	return probs[k-1], nil
+}
+
+// ViolationCurve returns Pr[µ_x(y) ≥ 0] for every horizon |y| = 1..k (one
+// DP sweep; horizon t read off after t steps), under the |x| → ∞ initial
+// law. The result has length k with index t−1 holding horizon t.
+//
+// Note the per-horizon caps differ in principle; capping at the largest
+// horizon k is exact for every t ≤ k (the cap argument only improves as the
+// remaining horizon shrinks).
+func (c *Computer) ViolationCurve(k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
+	}
+	sr, err := walk.NewStationaryReach(c.params.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	g := newGrid(k)
+	init := sr.Truncated(g.rmax)
+	for r, mass := range init {
+		g.add(r, r, mass)
+	}
+	return c.sweep(g, k)
+}
+
+// ViolationCurveFinitePrefix is ViolationCurve with the exact finite-prefix
+// initial law: the reach ρ(x) of an m-symbol i.i.d. prefix, computed by
+// evolving the reflected-walk chain m steps from ρ(ε) = 0. It converges to
+// ViolationCurve as m → ∞ and is dominated by it for every m.
+func (c *Computer) ViolationCurveFinitePrefix(m, k int) ([]float64, error) {
+	if k < 1 || m < 0 {
+		return nil, fmt.Errorf("settlement: invalid m=%d k=%d", m, k)
+	}
+	ph, pH, pA := c.params.Probabilities()
+	q := ph + pH
+	rmax := k + 1
+	cur := make([]float64, rmax+1)
+	cur[0] = 1
+	next := make([]float64, rmax+1)
+	for step := 0; step < m; step++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for r, mass := range cur {
+			if mass == 0 {
+				continue
+			}
+			up := min(r+1, rmax)
+			next[up] += mass * pA
+			if r == 0 {
+				next[0] += mass * q
+			} else {
+				next[r-1] += mass * q
+			}
+		}
+		cur, next = next, cur
+	}
+	g := newGrid(k)
+	for r, mass := range cur {
+		g.add(r, r, mass)
+	}
+	return c.sweep(g, k)
+}
+
+// sweep advances the joint chain k steps, recording Pr[s ≥ 0] after each.
+func (c *Computer) sweep(g *grid, k int) ([]float64, error) {
+	ph, pH, pA := c.params.Probabilities()
+	out := make([]float64, k)
+	next := newGrid(k)
+	for t := 1; t <= k; t++ {
+		for i := range next.p {
+			next.p[i] = 0
+		}
+		for r := 0; r <= g.rmax; r++ {
+			base := r * g.width()
+			for s := -g.k; s <= g.smax; s++ {
+				mass := g.p[base+(s+g.k)]
+				if mass == 0 {
+					continue
+				}
+				// A: r+1, s+1.
+				if pA > 0 {
+					next.add(r+1, s+1, mass*pA)
+				}
+				// Honest symbols: r' = max(r−1, 0).
+				rDown := r - 1
+				if rDown < 0 {
+					rDown = 0
+				}
+				if ph > 0 {
+					// h: s' = 0 iff s == 0 && r > 0, else s−1.
+					if s == 0 && r > 0 {
+						next.add(rDown, 0, mass*ph)
+					} else {
+						next.add(rDown, s-1, mass*ph)
+					}
+				}
+				if pH > 0 {
+					// H: s' = 0 iff s == 0, else s−1.
+					if s == 0 {
+						next.add(rDown, 0, mass*pH)
+					} else {
+						next.add(rDown, s-1, mass*pH)
+					}
+				}
+			}
+		}
+		g, next = next, g
+		total := 0.0
+		for r := 0; r <= g.rmax; r++ {
+			base := r * g.width()
+			for s := 0; s <= g.smax; s++ {
+				total += g.p[base+(s+g.k)]
+			}
+		}
+		out[t-1] = total
+	}
+	return out, nil
+}
+
+// ViolationProbabilityNaive computes the same quantity as
+// ViolationProbability on the paper's uncapped grid r ∈ [0, 2k],
+// s ∈ [−2k, 2k] (Section 6.6). It exists to cross-validate the capped DP
+// and as the ablation baseline for BenchmarkDPNaive. The initial reach tail
+// beyond 2k is pooled at 2k, exact for the same saturation reason.
+func (c *Computer) ViolationProbabilityNaive(k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
+	}
+	sr, err := walk.NewStationaryReach(c.params.Epsilon)
+	if err != nil {
+		return 0, err
+	}
+	ph, pH, pA := c.params.Probabilities()
+	rmax, smin, smax := 2*k, -2*k, 2*k
+	width := smax - smin + 1
+	idx := func(r, s int) int { return r*width + (s - smin) }
+	cur := make([]float64, (rmax+1)*width)
+	for r, mass := range sr.Truncated(rmax) {
+		cur[idx(r, r)] = mass
+	}
+	next := make([]float64, len(cur))
+	clampAdd := func(dst []float64, r, s int, v float64) {
+		if r > rmax {
+			r = rmax
+		}
+		if s > smax {
+			s = smax
+		}
+		if s < smin {
+			s = smin
+		}
+		dst[idx(r, s)] += v
+	}
+	for t := 1; t <= k; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for r := 0; r <= rmax; r++ {
+			for s := smin; s <= smax; s++ {
+				mass := cur[idx(r, s)]
+				if mass == 0 {
+					continue
+				}
+				clampAdd(next, r+1, s+1, mass*pA)
+				rDown := max(r-1, 0)
+				if s == 0 && r > 0 {
+					clampAdd(next, rDown, 0, mass*ph)
+				} else {
+					clampAdd(next, rDown, s-1, mass*ph)
+				}
+				if s == 0 {
+					clampAdd(next, rDown, 0, mass*pH)
+				} else {
+					clampAdd(next, rDown, s-1, mass*pH)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	total := 0.0
+	for r := 0; r <= rmax; r++ {
+		for s := 0; s <= smax; s++ {
+			total += cur[idx(r, s)]
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,144 @@
+package settlement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multihonest/internal/charstring"
+)
+
+// Table1Alphas are the adversarial-slot probabilities α = Pr[A] of the
+// columns of Table 1.
+var Table1Alphas = []float64{0.01, 0.10, 0.20, 0.30, 0.40, 0.49}
+
+// Table1HonestFractions are the row blocks of Table 1: the ratio
+// Pr[h]/(1−α), i.e. the fraction of honest probability mass that is
+// uniquely honest.
+var Table1HonestFractions = []float64{1.0, 0.9, 0.8, 0.5, 0.25, 0.01}
+
+// Table1Horizons are the settlement horizons k of Table 1's rows.
+var Table1Horizons = []int{100, 200, 300, 400, 500}
+
+// Cell identifies one entry of Table 1.
+type Cell struct {
+	HonestFraction float64 // Pr[h]/(1−α)
+	K              int
+	Alpha          float64
+}
+
+// Table holds computed k-settlement violation probabilities, keyed by cell.
+type Table struct {
+	Cells map[Cell]float64
+}
+
+// ComputeTable1 regenerates the paper's Table 1: for each (α, fraction)
+// block it runs one DP sweep to the largest horizon and reads off every
+// smaller horizon. Alphas, fractions and horizons may be overridden; nil
+// slices select the paper's values.
+func ComputeTable1(alphas, fractions []float64, horizons []int) (*Table, error) {
+	if alphas == nil {
+		alphas = Table1Alphas
+	}
+	if fractions == nil {
+		fractions = Table1HonestFractions
+	}
+	if horizons == nil {
+		horizons = Table1Horizons
+	}
+	kmax := 0
+	for _, k := range horizons {
+		if k < 1 {
+			return nil, fmt.Errorf("settlement: invalid horizon %d", k)
+		}
+		kmax = max(kmax, k)
+	}
+	t := &Table{Cells: make(map[Cell]float64, len(alphas)*len(fractions)*len(horizons))}
+	for _, frac := range fractions {
+		for _, alpha := range alphas {
+			p, err := charstring.ParamsFromAlpha(alpha, frac*(1-alpha))
+			if err != nil {
+				return nil, fmt.Errorf("settlement: table cell α=%v frac=%v: %w", alpha, frac, err)
+			}
+			curve, err := New(p).ViolationCurve(kmax)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range horizons {
+				t.Cells[Cell{HonestFraction: frac, K: k, Alpha: alpha}] = curve[k-1]
+			}
+		}
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's layout: row blocks by honest
+// fraction, rows by k, columns by α, entries in scientific notation with
+// three significant digits (e.g. 5.70E-054).
+func (t *Table) Format() string {
+	var fracs []float64
+	var alphas []float64
+	var ks []int
+	seenF := map[float64]bool{}
+	seenA := map[float64]bool{}
+	seenK := map[int]bool{}
+	for c := range t.Cells {
+		if !seenF[c.HonestFraction] {
+			seenF[c.HonestFraction] = true
+			fracs = append(fracs, c.HonestFraction)
+		}
+		if !seenA[c.Alpha] {
+			seenA[c.Alpha] = true
+			alphas = append(alphas, c.Alpha)
+		}
+		if !seenK[c.K] {
+			seenK[c.K] = true
+			ks = append(ks, c.K)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
+	sort.Float64s(alphas)
+	sort.Ints(ks)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-5s", "Pr[h]/(1-α)", "k")
+	for _, a := range alphas {
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("α=%.2f", a))
+	}
+	b.WriteByte('\n')
+	for _, f := range fracs {
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%-12.2f %-5d", f, k)
+			for _, a := range alphas {
+				v, ok := t.Cells[Cell{HonestFraction: f, K: k, Alpha: a}]
+				if !ok {
+					fmt.Fprintf(&b, " %12s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %12s", formatSci(v))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// formatSci renders v as the paper does: three significant digits with a
+// three-digit exponent, e.g. 5.70E-054 and 9.05E-001.
+func formatSci(v float64) string {
+	s := fmt.Sprintf("%.2E", v)
+	// Normalize exponent width to 3 digits (Go emits at least 2).
+	i := strings.IndexByte(s, 'E')
+	if i < 0 {
+		return s
+	}
+	mant, exp := s[:i], s[i+1:]
+	sign := ""
+	if len(exp) > 0 && (exp[0] == '+' || exp[0] == '-') {
+		sign, exp = string(exp[0]), exp[1:]
+	}
+	for len(exp) < 3 {
+		exp = "0" + exp
+	}
+	return mant + "E" + sign + exp
+}

@@ -1,0 +1,107 @@
+package settlement
+
+import (
+	"fmt"
+	"math"
+
+	"multihonest/internal/walk"
+)
+
+// ViolationCurveUpper returns a rigorous upper bound on the violation
+// probability for every horizon 1..k, computed in O(k·cap²) time instead
+// of the exact DP's O(k³). Both chain coordinates saturate at ±cap in the
+// conservative direction:
+//
+//   - reach saturates at cap from above (a saturated reach only makes the
+//     r > 0 branch — the favorable one for the adversary — more likely),
+//   - margin saturates at ±cap (the saturated value always dominates the
+//     true one, and the final event s ≥ 0 is monotone in s).
+//
+// The induced over-count is bounded by the probability the true chain ever
+// exceeds the cap, which decays geometrically as β^cap; CapForTarget picks
+// a cap that keeps it negligible relative to a target probability. Use the
+// exact ViolationCurve for reproducing Table 1; use this for confirmation-
+// depth planning at large horizons.
+func (c *Computer) ViolationCurveUpper(k, cap int) ([]float64, error) {
+	if k < 1 || cap < 2 {
+		return nil, fmt.Errorf("settlement: invalid k=%d cap=%d", k, cap)
+	}
+	sr, err := walk.NewStationaryReach(c.params.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	ph, pH, pA := c.params.Probabilities()
+	width := 2*cap + 1 // s ∈ [−cap, cap]
+	idx := func(r, s int) int { return r*width + (s + cap) }
+	cur := make([]float64, (cap+1)*width)
+	next := make([]float64, len(cur))
+	for r, mass := range sr.Truncated(cap) {
+		cur[idx(r, min(r, cap))] += mass
+	}
+	out := make([]float64, k)
+	satAdd := func(dst []float64, r, s int, v float64) {
+		if r > cap {
+			r = cap
+		}
+		if s > cap {
+			s = cap
+		}
+		if s < -cap {
+			s = -cap
+		}
+		dst[idx(r, s)] += v
+	}
+	for t := 1; t <= k; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for r := 0; r <= cap; r++ {
+			for s := -cap; s <= cap; s++ {
+				mass := cur[idx(r, s)]
+				if mass == 0 {
+					continue
+				}
+				satAdd(next, r+1, s+1, mass*pA)
+				rDown := r - 1
+				if rDown < 0 {
+					rDown = 0
+				}
+				if r == cap {
+					rDown = cap // saturated reach stays "large": conservative
+				}
+				if s == 0 && r > 0 {
+					satAdd(next, rDown, 0, mass*ph)
+				} else {
+					satAdd(next, rDown, s-1, mass*ph)
+				}
+				if s == 0 {
+					satAdd(next, rDown, 0, mass*pH)
+				} else {
+					satAdd(next, rDown, s-1, mass*pH)
+				}
+			}
+		}
+		cur, next = next, cur
+		total := 0.0
+		for r := 0; r <= cap; r++ {
+			for s := 0; s <= cap; s++ {
+				total += cur[idx(r, s)]
+			}
+		}
+		out[t-1] = math.Min(total, 1)
+	}
+	return out, nil
+}
+
+// CapForTarget returns a saturation cap making the upper bound's slack
+// negligible against a target probability: the chain escapes above level
+// cap with probability O(β^cap), so cap is chosen with β^cap ≤ target/100,
+// clamped to [48, 4096].
+func (c *Computer) CapForTarget(target float64) int {
+	beta := c.params.Beta()
+	if target <= 0 || beta <= 0 || beta >= 1 {
+		return 256
+	}
+	cap := int(math.Ceil(math.Log(target/100) / math.Log(beta)))
+	return min(max(cap, 48), 4096)
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: binomial confidence intervals, log-linear decay-rate
+// fits for e^{−Θ(k)} series, and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wilson returns the Wilson-score confidence interval for a binomial
+// proportion with the given number of successes out of n trials at
+// approximately 95% coverage (z = 1.96).
+func Wilson(successes, n int) (lo, hi float64) {
+	return WilsonZ(successes, n, 1.96)
+}
+
+// WilsonZ is Wilson with an explicit normal quantile z.
+func WilsonZ(successes, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// FitResult reports a least-squares fit of log(y) = intercept − rate·x.
+type FitResult struct {
+	Rate      float64 // per-unit exponential decay rate (positive = decaying)
+	Intercept float64 // log(y) at x = 0
+	R2        float64 // coefficient of determination in log space
+}
+
+// FitExpDecay fits y ≈ C·e^{−rate·x} by linear regression on log(y),
+// ignoring non-positive y values. It needs at least two usable points.
+func FitExpDecay(xs []float64, ys []float64) (FitResult, error) {
+	if len(xs) != len(ys) {
+		return FitResult{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	var X, Y []float64
+	for i, y := range ys {
+		if y > 0 {
+			X = append(X, xs[i])
+			Y = append(Y, math.Log(y))
+		}
+	}
+	if len(X) < 2 {
+		return FitResult{}, fmt.Errorf("stats: need ≥2 positive points, have %d", len(X))
+	}
+	n := float64(len(X))
+	var sx, sy, sxx, sxy float64
+	for i := range X {
+		sx += X[i]
+		sy += Y[i]
+		sxx += X[i] * X[i]
+		sxy += X[i] * Y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return FitResult{}, fmt.Errorf("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² in log space.
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i := range X {
+		pred := intercept + slope*X[i]
+		ssTot += (Y[i] - mean) * (Y[i] - mean)
+		ssRes += (Y[i] - pred) * (Y[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return FitResult{Rate: -slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Summary holds basic moments of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}

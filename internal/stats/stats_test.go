@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide for n=100: %v", hi-lo)
+	}
+	lo0, hi0 := Wilson(0, 100)
+	if lo0 != 0 || hi0 < 0.01 || hi0 > 0.1 {
+		t.Fatalf("zero-hit interval [%v, %v]", lo0, hi0)
+	}
+	if lo, hi := Wilson(0, 0); lo != 0 || hi != 1 {
+		t.Fatal("empty sample must be vacuous")
+	}
+}
+
+func TestWilsonContainsProportion(t *testing.T) {
+	f := func(successes, n uint8) bool {
+		nn := int(n%100) + 1
+		s := int(successes) % (nn + 1)
+		lo, hi := Wilson(s, nn)
+		p := float64(s) / float64(nn)
+		return lo <= p+1e-12 && p <= hi+1e-12 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitExpDecay(t *testing.T) {
+	xs := []float64{100, 200, 300, 400}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Exp(-0.01*x)
+	}
+	fit, err := FitExpDecay(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate-0.01) > 1e-9 || math.Abs(fit.Intercept-math.Log(3)) > 1e-9 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+	if _, err := FitExpDecay([]float64{1}, []float64{0.5}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitExpDecay([]float64{1, 2}, []float64{0, -1}); err == nil {
+		t.Error("no positive points accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,123 @@
+// Package walk provides the biased ±1 random-walk machinery underlying the
+// paper's probabilistic analysis (Sections 4–5): prefix-sum walks over
+// characteristic strings, running minima and maxima, the reflected walk
+// X_t = S_t − M_t, and the dominating stationary law X∞ of Eq. (9).
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"multihonest/internal/charstring"
+)
+
+// Trajectory is a realized walk S_0 = 0, S_t = S_{t−1} + step_t over T steps.
+// It memoizes the running extrema needed by the Catalan-slot scans.
+type Trajectory struct {
+	// S[t] is the walk position after t steps; S[0] = 0. len(S) = T+1.
+	S []int
+}
+
+// FromString builds the paper's walk over a characteristic string:
+// step_t = +1 if w_t = A, −1 if w_t ∈ {h, H}, 0 if w_t = ⊥.
+func FromString(w charstring.String) Trajectory {
+	return Trajectory{S: w.Walks()}
+}
+
+// Len returns the number of steps T.
+func (tr Trajectory) Len() int { return len(tr.S) - 1 }
+
+// At returns S_t. It panics if t ∉ [0, T].
+func (tr Trajectory) At(t int) int { return tr.S[t] }
+
+// PrefixMin returns m where m[t] = min_{0≤j≤t} S_j for t = 0..T.
+func (tr Trajectory) PrefixMin() []int {
+	m := make([]int, len(tr.S))
+	m[0] = tr.S[0]
+	for t := 1; t < len(tr.S); t++ {
+		m[t] = min(m[t-1], tr.S[t])
+	}
+	return m
+}
+
+// SuffixMax returns x where x[t] = max_{t≤j≤T} S_j for t = 0..T.
+func (tr Trajectory) SuffixMax() []int {
+	x := make([]int, len(tr.S))
+	x[len(tr.S)-1] = tr.S[len(tr.S)-1]
+	for t := len(tr.S) - 2; t >= 0; t-- {
+		x[t] = max(x[t+1], tr.S[t])
+	}
+	return x
+}
+
+// Reflected returns X_t = S_t − M_t, the walk's height above its running
+// minimum, for t = 0..T. X is the reach process ρ of Theorem 5 for strings
+// read left to right.
+func (tr Trajectory) Reflected() []int {
+	x := make([]int, len(tr.S))
+	m := tr.S[0]
+	for t := range tr.S {
+		m = min(m, tr.S[t])
+		x[t] = tr.S[t] - m
+	}
+	return x
+}
+
+// StationaryReach is the dominating law X∞ of Eq. (9):
+//
+//	Pr[X∞ = j] = (1 − β) β^j,  β = (1 − ǫ)/(1 + ǫ).
+//
+// For every finite prefix length m, the reflected-walk height X_m is
+// stochastically dominated by X∞ ([4, Lemma 6.1]); Table 1 and the |x| ≥ 1
+// cases of Bounds 1–2 use X∞ as the initial-reach law.
+type StationaryReach struct {
+	Beta float64 // β ∈ [0, 1)
+}
+
+// NewStationaryReach builds X∞ for honest advantage ǫ.
+func NewStationaryReach(epsilon float64) (StationaryReach, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return StationaryReach{}, fmt.Errorf("walk: epsilon %v outside (0,1)", epsilon)
+	}
+	return StationaryReach{Beta: (1 - epsilon) / (1 + epsilon)}, nil
+}
+
+// PMF returns Pr[X∞ = j].
+func (x StationaryReach) PMF(j int) float64 {
+	if j < 0 {
+		return 0
+	}
+	return (1 - x.Beta) * math.Pow(x.Beta, float64(j))
+}
+
+// TailAtLeast returns Pr[X∞ ≥ j] = β^j.
+func (x StationaryReach) TailAtLeast(j int) float64 {
+	if j <= 0 {
+		return 1
+	}
+	return math.Pow(x.Beta, float64(j))
+}
+
+// Truncated returns the probability vector (Pr[X∞ = 0], …, Pr[X∞ = n−1],
+// Pr[X∞ ≥ n]) of length n+1: the exact law with all mass ≥ n pooled into
+// the final entry. This is the exactness-preserving cap used by the
+// settlement dynamic program.
+func (x StationaryReach) Truncated(n int) []float64 {
+	v := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		v[j] = x.PMF(j)
+	}
+	v[n] = x.TailAtLeast(n)
+	return v
+}
+
+// RuinProbability returns the gambler's-ruin quantity p/q: the probability
+// that an ǫ-downward-biased walk started at 0 ever reaches +1. It equals
+// A(1) for the ascent generating function of Section 5.
+func RuinProbability(epsilon float64) float64 {
+	return (1 - epsilon) / (1 + epsilon)
+}
+
+// DescentExpectation returns the expected time for the ǫ-downward-biased
+// walk to first reach −1, which is D′(1) = 1/ǫ.
+func DescentExpectation(epsilon float64) float64 { return 1 / epsilon }

@@ -1,0 +1,111 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+func TestTrajectoryBasics(t *testing.T) {
+	w := charstring.MustParse("hAAhH")
+	tr := FromString(w)
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	wantS := []int{0, -1, 0, 1, 0, -1}
+	for i, v := range wantS {
+		if tr.At(i) != v {
+			t.Fatalf("S = %v, want %v", tr.S, wantS)
+		}
+	}
+	pm := tr.PrefixMin()
+	wantPM := []int{0, -1, -1, -1, -1, -1}
+	for i := range wantPM {
+		if pm[i] != wantPM[i] {
+			t.Fatalf("prefix min %v, want %v", pm, wantPM)
+		}
+	}
+	sm := tr.SuffixMax()
+	wantSM := []int{1, 1, 1, 1, 0, -1}
+	for i := range wantSM {
+		if sm[i] != wantSM[i] {
+			t.Fatalf("suffix max %v, want %v", sm, wantSM)
+		}
+	}
+	refl := tr.Reflected()
+	wantR := []int{0, 0, 1, 2, 1, 0}
+	for i := range wantR {
+		if refl[i] != wantR[i] {
+			t.Fatalf("reflected %v, want %v", refl, wantR)
+		}
+	}
+}
+
+func TestStationaryReach(t *testing.T) {
+	x, err := NewStationaryReach(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β = 0.8/1.2 = 2/3.
+	if math.Abs(x.Beta-2.0/3) > 1e-12 {
+		t.Fatalf("β = %v", x.Beta)
+	}
+	sum := 0.0
+	for j := 0; j < 200; j++ {
+		sum += x.PMF(j)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+	if math.Abs(x.TailAtLeast(3)-math.Pow(2.0/3, 3)) > 1e-12 {
+		t.Fatal("tail wrong")
+	}
+	tr := x.Truncated(5)
+	tsum := 0.0
+	for _, v := range tr {
+		tsum += v
+	}
+	if math.Abs(tsum-1) > 1e-12 {
+		t.Fatalf("truncated law sums to %v", tsum)
+	}
+	if _, err := NewStationaryReach(1.5); err == nil {
+		t.Fatal("invalid epsilon accepted")
+	}
+}
+
+// TestDominanceOverFiniteWalk: the reflected walk height at any finite time
+// is stochastically dominated by X∞ ([4, Lemma 6.1]); verified empirically.
+func TestDominanceOverFiniteWalk(t *testing.T) {
+	const eps, T, n = 0.2, 200, 20000
+	law := charstring.MustParams(eps, 0.3)
+	x, _ := NewStationaryReach(eps)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 64)
+	for i := 0; i < n; i++ {
+		w := law.Sample(rng, T)
+		h := FromString(w).Reflected()[T]
+		if h < len(counts) {
+			counts[h]++
+		}
+	}
+	// Empirical Pr[X_T ≥ j] ≤ Pr[X∞ ≥ j] + sampling slack for a few j.
+	cum := n
+	for j := 0; j < 10; j++ {
+		pEmp := float64(cum) / n
+		if pEmp > x.TailAtLeast(j)+0.02 {
+			t.Fatalf("dominance violated at j=%d: empirical %.4f > %.4f", j, pEmp, x.TailAtLeast(j))
+		}
+		cum -= counts[j]
+	}
+}
+
+func TestGamblersRuin(t *testing.T) {
+	if got := RuinProbability(0.2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("ruin = %v", got)
+	}
+	if got := DescentExpectation(0.25); got != 4 {
+		t.Fatalf("descent expectation = %v", got)
+	}
+}
