@@ -8,6 +8,7 @@ package multihonest
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -38,18 +39,52 @@ func BenchmarkTable1(b *testing.B) {
 	alphas := []float64{0.10, 0.30, 0.49}
 	fracs := []float64{1.0, 0.01}
 	horizons := []int{100, 200, 300}
-	var tbl *settlement.Table
-	var err error
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tbl, err = settlement.ComputeTable1(alphas, fracs, horizons)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var tbl *settlement.Table
+			var err error
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbl, err = settlement.ComputeTable1(alphas, fracs, horizons, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			once(b, "table1", func() {
+				fmt.Printf("\n[T1] Table 1 (subset; see cmd/table1 for all 6×6×5 cells)\n%s\n", tbl.Format())
+			})
+		})
 	}
-	once(b, "table1", func() {
-		fmt.Printf("\n[T1] Table 1 (subset; see cmd/table1 for all 6×6×5 cells)\n%s\n", tbl.Format())
-	})
+}
+
+// BenchmarkMCEngine is the benchstat pair for the acceptance criterion of
+// the runner subsystem: the same experiment (Bound 1 event, equal sample
+// count, equal seed) on the serial path (workers = 1) and on the full
+// worker pool. The estimates are asserted bit-identical; only wall-clock
+// may differ. Compare with
+//
+//	go test -bench 'MCEngine' -benchtime 3x
+func BenchmarkMCEngine(b *testing.B) {
+	p := charstring.MustParams(0.3, 0.3)
+	const s, k, tail, n, seed = 40, 160, 150, 8000, int64(7)
+	ref := mc.NoUniquelyHonestCatalan(p, s, k, tail, n, seed, 1)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				est := mc.NoUniquelyHonestCatalan(p, s, k, tail, n, seed, bc.workers)
+				if est != ref {
+					b.Fatalf("workers=%d changed the estimate: %v != %v", bc.workers, est, ref)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDPCapped/BenchmarkDPNaive: ablation of the exactness-preserving
@@ -94,7 +129,7 @@ func BenchmarkFigBound1(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			est := mc.NoUniquelyHonestCatalan(p, 40, k, 150, 4000, int64(k))
+			est := mc.NoUniquelyHonestCatalan(p, 40, k, 150, 4000, int64(k), 0)
 			rows = append(rows, fmt.Sprintf("k=%-4d GF tail %.4e   MC %v", k, tail, est))
 		}
 	}
@@ -123,7 +158,7 @@ func BenchmarkFigBound2(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			est := mc.NoConsecutiveCatalan(eps, 40, k, 150, 4000, int64(k))
+			est := mc.NoConsecutiveCatalan(eps, 40, k, 150, 4000, int64(k), 0)
 			rows = append(rows, fmt.Sprintf("k=%-4d GF tail %.4e   MC %v", k, tail, est))
 		}
 	}
@@ -176,7 +211,7 @@ func BenchmarkFigDeltaSweep(b *testing.B) {
 		rows = rows[:0]
 		for _, delta := range []int{0, 2, 5, 10} {
 			eps := deltasync.MaxEpsilon(sp, delta)
-			est, err := mc.DeltaUnsettled(sp, delta, 8, 60, 150, 3000, int64(delta))
+			est, err := mc.DeltaUnsettled(sp, delta, 8, 60, 150, 3000, int64(delta), 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -201,8 +236,8 @@ func BenchmarkFigCPViolation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, k := range []int{20, 40, 80} {
-			adv := mc.CPViolationPossible(p, 400, k, 2000, int64(k), false)
-			con := mc.CPViolationPossible(bivalent, 400, k, 2000, int64(k), true)
+			adv := mc.CPViolationPossible(p, 400, k, 2000, int64(k), false, 0)
+			con := mc.CPViolationPossible(bivalent, 400, k, 2000, int64(k), true, 0)
 			rows = append(rows, fmt.Sprintf("k=%-3d adversarial ties (ph=.3): %v   consistent ties (ph=0): %v", k, adv, con))
 		}
 	}

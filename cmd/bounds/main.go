@@ -27,6 +27,7 @@ func main() {
 	delta := flag.Int("delta", 4, "maximum network delay Δ (bound 3)")
 	kmax := flag.Int("kmax", 400, "largest window length")
 	n := flag.Int("n", 20000, "Monte-Carlo samples per point")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
 	switch *which {
@@ -44,7 +45,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			est := mc.NoUniquelyHonestCatalan(p, 50, k, 200, *n, int64(k))
+			est := mc.NoUniquelyHonestCatalan(p, 50, k, 200, *n, int64(k), *workers)
 			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
 		}
 	case 2:
@@ -60,7 +61,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			est := mc.NoConsecutiveCatalan(*eps, 50, k, 200, *n, int64(k))
+			est := mc.NoConsecutiveCatalan(*eps, 50, k, 200, *n, int64(k), *workers)
 			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
 		}
 	case 3:
@@ -73,7 +74,7 @@ func main() {
 		fmt.Println("Δ\tmax ǫ (Eq.20)\tinduced (h,H,A) per Eq.22\tMC Pr[slot lacks (k,Δ)-certificate], k=kmax/4")
 		for d := 0; d <= *delta; d++ {
 			ph, pH, pA := deltasync.InducedParams(sp, d)
-			est, err := mc.DeltaUnsettled(sp, d, 10, *kmax/4, 200, *n/2, int64(d))
+			est, err := mc.DeltaUnsettled(sp, d, 10, *kmax/4, 200, *n/2, int64(d), *workers)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,12 +1,14 @@
 // Command settle answers one-off settlement queries: the exact violation
-// probability at a horizon, the confirmation depth for a target error, and
-// a decay sweep with a fitted rate.
+// probability at a horizon, the confirmation depth for a target error, a
+// decay sweep with a fitted rate, and an optional Monte-Carlo cross-check
+// of the dynamic program run on the parallel experiment engine.
 //
 // Usage:
 //
 //	settle -alpha 0.3 -ph 0.1 -k 200
 //	settle -alpha 0.3 -ph 0.1 -target 1e-9
 //	settle -alpha 0.3 -ph 0.1 -sweep -k 400
+//	settle -alpha 0.3 -ph 0.05 -k 60 -mc 200000 -workers 0
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"math"
 
 	"multihonest/internal/core"
+	"multihonest/internal/mc"
 	"multihonest/internal/stats"
 )
 
@@ -27,6 +30,10 @@ func main() {
 	k := flag.Int("k", 200, "settlement horizon (slots)")
 	target := flag.Float64("target", 0, "if > 0, report the confirmation depth reaching this failure probability")
 	sweep := flag.Bool("sweep", false, "print the failure curve for horizons 1..k and fit the decay rate")
+	mcN := flag.Int("mc", 0, "if > 0, cross-check the DP with this many Monte-Carlo samples")
+	prefix := flag.Int("prefix", 600, "finite prefix length |x| for the Monte-Carlo cross-check")
+	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
 	a, err := core.New(*alpha, *ph)
@@ -76,5 +83,11 @@ func main() {
 		if b, err := a.Bound1Tail(*k); err == nil {
 			fmt.Printf("analytic Bound-1 certificate:                      ≤ %.6e\n", b)
 		}
+	}
+
+	if *mcN > 0 {
+		est := mc.SettlementViolation(a.Params(), *prefix, *k, *mcN, *seed, *workers)
+		fmt.Printf("Monte-Carlo cross-check (|x|=%d, n=%d, seed=%d):    %v\n", *prefix, *mcN, *seed, est)
+		fmt.Println("(the DP value should fall inside — or within β^|x| of — the Wilson interval)")
 	}
 }

@@ -8,6 +8,10 @@
 //	simulate -strategy margin -alpha 0.3 -ph 0.2 -s 5 -k 60 -runs 400
 //	simulate -strategy private -alpha 0.3 -ph 0.2 -s 5 -k 60 -runs 400
 //	simulate -strategy null -alpha 0.3 -ph 0.2 -k 60
+//
+// The independent executions are fanned out over a worker pool (-workers,
+// 0 = all CPUs). Run r always uses seed base+r, so the empirical rate is
+// identical at every pool size.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"multihonest/internal/chainsim"
 	"multihonest/internal/charstring"
 	"multihonest/internal/leader"
+	"multihonest/internal/runner"
 	"multihonest/internal/settlement"
 	"multihonest/internal/stats"
 )
@@ -32,61 +37,71 @@ func main() {
 	k := flag.Int("k", 60, "settlement horizon")
 	runs := flag.Int("runs", 400, "independent protocol executions")
 	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
+	switch *strategy {
+	case "null", "private", "margin":
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	if *runs < 1 {
+		log.Fatalf("-runs %d must be ≥ 1", *runs)
+	}
 	p, err := charstring.ParamsFromAlpha(*alpha, *ph)
 	if err != nil {
 		log.Fatal(err)
 	}
 	horizon := *s - 1 + *k
 
-	violations, abstract := 0, 0
-	for run := 0; run < *runs; run++ {
+	// oneRun executes protocol run r end to end and reports whether the
+	// adversary presented a settlement violation of slot s.
+	oneRun := func(run int) (bool, error) {
 		rng := rand.New(rand.NewSource(*seed + int64(run)))
 		sched := leader.BernoulliSchedule(p, horizon, rng)
 		var strat chainsim.Strategy
 		rule := chainsim.AdversarialTies
-		var marginStrat *chainsim.MarginStrategy
 		switch *strategy {
 		case "null":
 			strat, rule = chainsim.NullStrategy{}, chainsim.ConsistentTies
 		case "private":
 			strat = &chainsim.PrivateChainStrategy{Target: *s}
 		case "margin":
-			marginStrat = chainsim.NewMarginStrategy()
-			strat = marginStrat
-		default:
-			log.Fatalf("unknown strategy %q", *strategy)
+			strat = chainsim.NewMarginStrategy()
 		}
 		sim, err := chainsim.NewSim(chainsim.Config{Schedule: sched, Rule: rule, Strategy: strat, Seed: *seed + int64(run)})
 		if err != nil {
-			log.Fatal(err)
+			return false, err
 		}
 		if err := sim.Run(nil); err != nil {
-			log.Fatal(err)
+			return false, err
 		}
 		switch st := strat.(type) {
 		case *chainsim.MarginStrategy:
 			if err := st.Err(); err != nil {
-				log.Fatal(err)
+				return false, err
 			}
-			ok, err := st.ViolationPresentable(sim, *s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ok {
-				violations++
-			}
+			return st.ViolationPresentable(sim, *s)
 		case *chainsim.PrivateChainStrategy:
-			if st.Succeeded(sim) {
-				violations++
-			}
+			return st.Succeeded(sim), nil
 		default:
-			if sim.SettlementViolated(*s) {
-				violations++
-			}
+			return sim.SettlementViolated(*s), nil
 		}
-		_ = abstract
+	}
+
+	violated := make([]bool, *runs)
+	if err := runner.ForEach(*workers, *runs, func(run int) error {
+		ok, err := oneRun(run)
+		violated[run] = ok
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	violations := 0
+	for _, v := range violated {
+		if v {
+			violations++
+		}
 	}
 
 	lo, hi := stats.Wilson(violations, *runs)

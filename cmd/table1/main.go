@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	table1 [-kmax 500] [-quick]
+//	table1 [-kmax 500] [-quick] [-workers 0]
 //
 // -quick restricts to k ≤ 200 and three α columns for a fast smoke run.
+// The independent (α, fraction) blocks are swept on a worker pool;
+// -workers 0 (the default) uses every CPU and -workers 1 is the serial
+// path. The emitted table is identical at any pool size.
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	log.SetFlags(0)
 	kmax := flag.Int("kmax", 500, "largest settlement horizon k")
 	quick := flag.Bool("quick", false, "small parameter grid for a fast run")
+	workers := flag.Int("workers", 0, "DP worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
 	alphas := settlement.Table1Alphas
@@ -44,7 +48,7 @@ func main() {
 	}
 
 	start := time.Now()
-	tbl, err := settlement.ComputeTable1(alphas, fracs, horizons)
+	tbl, err := settlement.ComputeTable1(alphas, fracs, horizons, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,13 +18,16 @@
 //   - a stake-lottery leader-election substrate (leader),
 //   - an executable longest-chain PoS protocol with signed blocks and
 //     pluggable adversaries (chainsim),
-//   - Monte-Carlo experiment harnesses (mc, stats),
+//   - a parallel Monte-Carlo engine with deterministic RNG sharding
+//     (runner) and the experiment harnesses built on it (mc, stats),
 //   - and a high-level facade (core).
 //
 // The root package re-exports the facade so downstream users can depend on
-// a single import path; see README.md for a tour and EXPERIMENTS.md for
-// the paper-versus-measured record. The benchmark suite in bench_test.go
-// regenerates every table and figure of the paper's evaluation.
+// a single import path; see README.md for a tour, DESIGN.md for the
+// architecture and experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmark suite in bench_test.go
+// regenerates every table and figure of the paper's evaluation; estimates
+// are bit-identical at any worker count for a fixed seed.
 package multihonest
 
 import (

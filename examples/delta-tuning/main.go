@@ -43,7 +43,7 @@ func main() {
 					f, delta, eps, ph, pH, pA)
 				continue
 			}
-			est, err := mc.DeltaUnsettled(sp, delta, 8, k, 150, 4000, int64(delta)+7)
+			est, err := mc.DeltaUnsettled(sp, delta, 8, k, 150, 4000, int64(delta)+7, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module multihonest
+
+go 1.24

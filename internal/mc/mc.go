@@ -2,7 +2,14 @@
 // estimation of the paper's stochastic events by sampling characteristic
 // strings and applying the exact per-string verdicts from packages catalan,
 // margin, cp and deltasync. Each experiment corresponds to an entry of the
-// DESIGN.md experiment index (E1–E6) and feeds EXPERIMENTS.md.
+// DESIGN.md experiment index (E1–E7) and feeds EXPERIMENTS.md.
+//
+// Every experiment is expressed as a pure per-string runner.Verdict plugged
+// into the worker-pool engine of package runner: the exported experiment
+// functions pair a verdict constructor with a sampler and delegate to
+// runner.Run. For a fixed (seed, n) the resulting Estimate is bit-identical
+// at every worker count; workers = 0 uses all CPUs and workers = 1 is the
+// serial path.
 package mc
 
 import (
@@ -14,117 +21,141 @@ import (
 	"multihonest/internal/cp"
 	"multihonest/internal/deltasync"
 	"multihonest/internal/margin"
+	"multihonest/internal/runner"
 	"multihonest/internal/stats"
 )
 
-// Estimate is a Monte-Carlo frequency with its Wilson 95% interval.
-type Estimate struct {
-	Hits, N int
-	P       float64
-	Lo, Hi  float64
+// Estimate is a Monte-Carlo frequency with its Wilson 95% interval; it is
+// runner.Estimate re-exported so downstream code can stay on the mc API.
+type Estimate = runner.Estimate
+
+// mustRun executes a job whose verdict cannot fail; any error therefore
+// indicates a programming bug in this package and panics.
+func mustRun(cfg runner.Config, sample runner.Sampler, verdict runner.Verdict) Estimate {
+	e, err := runner.Run(cfg, sample, verdict)
+	if err != nil {
+		panic(fmt.Sprintf("mc: infallible experiment failed: %v", err))
+	}
+	return e
 }
 
-func newEstimate(hits, n int) Estimate {
-	lo, hi := stats.Wilson(hits, n)
-	return Estimate{Hits: hits, N: n, P: float64(hits) / float64(n), Lo: lo, Hi: hi}
+// BernoulliSampler draws length-T strings under the (ǫ, ph)-Bernoulli law —
+// the sampler of every synchronous experiment.
+func BernoulliSampler(p charstring.Params, T int) runner.Sampler {
+	return func(rng *rand.Rand) charstring.String { return p.Sample(rng, T) }
 }
 
-// String renders the estimate compactly.
-func (e Estimate) String() string {
-	return fmt.Sprintf("%.4g [%.4g, %.4g] (%d/%d)", e.P, e.Lo, e.Hi, e.Hits, e.N)
-}
-
-// NoUniquelyHonestCatalan estimates the Bound 1 event: a k-slot window
-// starting at slot s contains no uniquely honest Catalan slot of the whole
-// string. The sampled string extends tail slots past the window so that
-// right-Catalan status is effectively decided (the probability that the
-// walk returns after the tail decays geometrically).
-func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64) Estimate {
-	rng := rand.New(rand.NewSource(seed))
-	T := s - 1 + k + tail
-	hits := 0
-	for i := 0; i < n; i++ {
-		w := p.Sample(rng, T)
+// NoUniquelyHonestCatalanVerdict reports the Bound 1 event on a sampled
+// string: the k-slot window starting at slot s contains no uniquely honest
+// Catalan slot of the whole string.
+func NoUniquelyHonestCatalanVerdict(s, k int) runner.Verdict {
+	return func(w charstring.String) (bool, error) {
 		sc := catalan.Analyze(w)
-		found := false
 		for c := s; c <= s-1+k; c++ {
 			if sc.UniquelyHonestCatalan(c) {
-				found = true
-				break
+				return false, nil
 			}
 		}
-		if !found {
-			hits++
-		}
+		return true, nil
 	}
-	return newEstimate(hits, n)
 }
 
-// NoConsecutiveCatalan estimates the Bound 2 event on bivalent strings: a
-// k-slot window with no two consecutive Catalan slots.
-func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64) Estimate {
-	p := charstring.MustParams(epsilon, 0)
-	rng := rand.New(rand.NewSource(seed))
+// NoUniquelyHonestCatalan estimates the Bound 1 event (experiment E1). The
+// sampled string extends tail slots past the window so that right-Catalan
+// status is effectively decided (the probability that the walk returns
+// after the tail decays geometrically). workers = 0 uses all CPUs.
+func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64, workers int) Estimate {
 	T := s - 1 + k + tail
-	hits := 0
-	for i := 0; i < n; i++ {
-		w := p.Sample(rng, T)
+	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
+		BernoulliSampler(p, T), NoUniquelyHonestCatalanVerdict(s, k))
+}
+
+// NoConsecutiveCatalanVerdict reports the Bound 2 event: the k-slot window
+// starting at slot s contains no two consecutive Catalan slots.
+func NoConsecutiveCatalanVerdict(s, k int) runner.Verdict {
+	return func(w charstring.String) (bool, error) {
 		sc := catalan.Analyze(w)
-		found := false
 		for c := s; c <= s-2+k; c++ {
 			if sc.ConsecutivePairAt(c) {
-				found = true
-				break
+				return false, nil
 			}
 		}
-		if !found {
-			hits++
-		}
+		return true, nil
 	}
-	return newEstimate(hits, n)
+}
+
+// NoConsecutiveCatalan estimates the Bound 2 event on bivalent strings
+// (experiment E2): a k-slot window with no two consecutive Catalan slots.
+func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64, workers int) Estimate {
+	p := charstring.MustParams(epsilon, 0)
+	T := s - 1 + k + tail
+	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
+		BernoulliSampler(p, T), NoConsecutiveCatalanVerdict(s, k))
+}
+
+// SettlementViolationVerdict reports the Table 1 event on a sampled string
+// w = xy with |x| = m: the relative margin µ_x(y) is non-negative.
+func SettlementViolationVerdict(m int) runner.Verdict {
+	return func(w charstring.String) (bool, error) {
+		return margin.RelativeMargin(w, m) >= 0, nil
+	}
 }
 
 // SettlementViolation estimates Pr[µ_x(y) ≥ 0] for |x| = m, |y| = k — the
 // Table 1 event with a finite prefix. It cross-validates the exact DP.
-func SettlementViolation(p charstring.Params, m, k, n int, seed int64) Estimate {
-	rng := rand.New(rand.NewSource(seed))
-	hits := 0
-	for i := 0; i < n; i++ {
-		w := p.Sample(rng, m+k)
-		if margin.RelativeMargin(w, m) >= 0 {
-			hits++
-		}
-	}
-	return newEstimate(hits, n)
+func SettlementViolation(p charstring.Params, m, k, n int, seed int64, workers int) Estimate {
+	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
+		BernoulliSampler(p, m+k), SettlementViolationVerdict(m))
 }
 
 // ConsistentTiesUnsettled estimates the settlement failure certificate
 // under axiom A0′ at ph = 0 (the Theorem 2 regime): the window [s, s+k−1]
 // has no consecutive-Catalan UVP certificate.
-func ConsistentTiesUnsettled(epsilon float64, s, k, tail, n int, seed int64) Estimate {
-	return NoConsecutiveCatalan(epsilon, s, k, tail, n, seed)
+func ConsistentTiesUnsettled(epsilon float64, s, k, tail, n int, seed int64, workers int) Estimate {
+	return NoConsecutiveCatalan(epsilon, s, k, tail, n, seed, workers)
 }
 
-// CPViolationPossible estimates the Theorem 8 event: the sampled string has
-// a UVP-free window of length ≥ k, so some fork may violate k-CP^slot.
-func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool) Estimate {
-	rng := rand.New(rand.NewSource(seed))
-	hits := 0
-	for i := 0; i < n; i++ {
-		w := p.Sample(rng, T)
-		if cp.ViolationPossible(w, k, consistentTies) {
-			hits++
-		}
+// CPViolationVerdict reports the Theorem 8 event: the string has a UVP-free
+// window of length ≥ k, so some fork may violate k-CP^slot.
+func CPViolationVerdict(k int, consistentTies bool) runner.Verdict {
+	return func(w charstring.String) (bool, error) {
+		return cp.ViolationPossible(w, k, consistentTies), nil
 	}
-	return newEstimate(hits, n)
 }
 
-// DeltaUnsettled estimates the Theorem 7 event: slot s of a
+// CPViolationPossible estimates the Theorem 8 event over T-slot strings
+// (experiment E5).
+func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool, workers int) Estimate {
+	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
+		BernoulliSampler(p, T), CPViolationVerdict(k, consistentTies))
+}
+
+// ConditionedSemiSyncSampler draws length-T semi-synchronous strings
+// conditioned on slot s having a leader: an empty slot s is promoted to
+// uniquely honest (settlement of an empty slot is vacuous).
+func ConditionedSemiSyncSampler(sp charstring.SemiSyncParams, s, T int) runner.Sampler {
+	return func(rng *rand.Rand) charstring.String {
+		w := sp.Sample(rng, T)
+		if w[s-1] == charstring.Empty {
+			w[s-1] = charstring.UniqueHonest
+		}
+		return w
+	}
+}
+
+// DeltaUnsettledVerdict reports the Theorem 7 event: slot s of a
 // semi-synchronous execution lacks the Lemma 2 (k, Δ)-settlement
-// certificate. Sampling conditions on slot s having a leader (settlement
-// of an empty slot is vacuous).
-func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed int64) (Estimate, error) {
-	rng := rand.New(rand.NewSource(seed))
+// certificate.
+func DeltaUnsettledVerdict(s, k, delta int) runner.Verdict {
+	return func(w charstring.String) (bool, error) {
+		ok, err := deltasync.Settled(w, s, k, delta)
+		return !ok, err
+	}
+}
+
+// DeltaUnsettled estimates the Theorem 7 event (experiment E4). Sampling
+// conditions on slot s having a leader via ConditionedSemiSyncSampler.
+func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed int64, workers int) (Estimate, error) {
 	// The certificate needs a window of k *reduced* (non-empty) slots plus
 	// slack; at activity rate f that takes about k/f real slots.
 	f := sp.ActiveRate()
@@ -132,30 +163,30 @@ func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed
 		return Estimate{}, fmt.Errorf("mc: zero activity rate")
 	}
 	T := s + int(float64(2*k+tail)/f) + delta
-	hits, tries := 0, 0
-	for tries < n {
-		w := sp.Sample(rng, T)
-		if w[s-1] == charstring.Empty {
-			w[s-1] = charstring.UniqueHonest // condition on a leader at s
-		}
-		tries++
-		ok, err := deltasync.Settled(w, s, k, delta)
-		if err != nil {
-			return Estimate{}, err
-		}
-		if !ok {
-			hits++
-		}
-	}
-	return newEstimate(hits, n), nil
+	return runner.Run(runner.Config{N: n, Seed: seed, Workers: workers},
+		ConditionedSemiSyncSampler(sp, s, T), DeltaUnsettledVerdict(s, k, delta))
 }
 
-// Series sweeps a horizon list, returning one estimate per k.
+// Series sweeps a horizon list serially, returning one estimate per k.
 func Series(ks []int, f func(k int) Estimate) []Estimate {
 	out := make([]Estimate, len(ks))
 	for i, k := range ks {
 		out[i] = f(k)
 	}
+	return out
+}
+
+// SeriesParallel sweeps a horizon list on a worker pool (0 = all CPUs).
+// Each horizon's estimate is computed exactly as Series would, so the two
+// agree bit-for-bit; only wall-clock differs. Point the per-horizon
+// experiments at workers = 1 when calling through SeriesParallel, otherwise
+// the two parallelism levels compete for cores.
+func SeriesParallel(ks []int, workers int, f func(k int) Estimate) []Estimate {
+	out := make([]Estimate, len(ks))
+	_ = runner.ForEach(workers, len(ks), func(i int) error {
+		out[i] = f(ks[i])
+		return nil
+	})
 	return out
 }
 

@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/stats"
+)
+
+// countAdversarial is a trivial verdict used throughout: the event is
+// "more than a third of the slots are adversarial".
+func countAdversarial(w charstring.String) (bool, error) {
+	return 3*w.Count(charstring.Adversarial) > w.Len(), nil
+}
+
+func sampler(p charstring.Params, T int) Sampler {
+	return func(rng *rand.Rand) charstring.String { return p.Sample(rng, T) }
+}
+
+// TestDeterministicAcrossWorkers: same seed ⇒ bit-identical Estimate at 1,
+// 4 and 8 workers, under different GOMAXPROCS settings.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	p := charstring.MustParams(0.3, 0.2)
+	base := Config{N: 10_000, Seed: 42}
+	ref, err := Run(Config{N: base.N, Seed: base.Seed, Workers: 1}, sampler(p, 50), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.N != base.N || ref.Hits == 0 || ref.Hits == ref.N {
+		t.Fatalf("degenerate reference estimate %v", ref)
+	}
+	for _, procs := range []int{1, 2} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 4, 8} {
+			got, err := Run(Config{N: base.N, Seed: base.Seed, Workers: workers}, sampler(p, 50), countAdversarial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("GOMAXPROCS=%d workers=%d: %v != reference %v", procs, workers, got, ref)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestMatchesManualBatchLoop pins the sampling scheme itself: Run must
+// agree bit-for-bit with a hand-rolled serial loop over the same batches.
+func TestMatchesManualBatchLoop(t *testing.T) {
+	p := charstring.MustParams(0.4, 0.1)
+	const n, bs, seed = 2_500, 128, int64(7)
+	hits := 0
+	for b := 0; b*bs < n; b++ {
+		rng := BatchRNG(seed, b)
+		for i := b * bs; i < min((b+1)*bs, n); i++ {
+			ok, err := countAdversarial(p.Sample(rng, 40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				hits++
+			}
+		}
+	}
+	want := NewEstimate(hits, n)
+	got, err := Run(Config{N: n, Seed: seed, Workers: 6, BatchSize: bs}, sampler(p, 40), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Run %v != manual batch loop %v", got, want)
+	}
+}
+
+// TestSeedAndBatchSizeArePartOfScheme: different seeds (and different batch
+// sizes) select different sample streams, while worker count never does.
+func TestSeedAndBatchSizeArePartOfScheme(t *testing.T) {
+	p := charstring.MustParams(0.2, 0.3)
+	a, err := Run(Config{N: 8_000, Seed: 1, Workers: 3}, sampler(p, 30), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{N: 8_000, Seed: 2, Workers: 3}, sampler(p, 30), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hits == b.Hits {
+		t.Logf("note: seeds 1 and 2 coincidentally agree on hits (%d); tolerated", a.Hits)
+	}
+	c, err := Run(Config{N: 8_000, Seed: 1, Workers: 5, BatchSize: 64}, sampler(p, 30), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(Config{N: 8_000, Seed: 1, Workers: 1, BatchSize: 64}, sampler(p, 30), countAdversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != d {
+		t.Fatalf("worker count changed the estimate at fixed batch size: %v vs %v", c, d)
+	}
+}
+
+// TestErrorPropagation: the first verdict error cancels the job and is
+// surfaced; no estimate is fabricated.
+func TestErrorPropagation(t *testing.T) {
+	p := charstring.MustParams(0.3, 0.2)
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	verdict := func(w charstring.String) (bool, error) {
+		if calls.Add(1) == 300 {
+			return false, sentinel
+		}
+		return false, nil
+	}
+	_, err := Run(Config{N: 100_000, Seed: 9, Workers: 4}, sampler(p, 10), verdict)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel error, got %v", err)
+	}
+	if n := calls.Load(); n >= 100_000 {
+		t.Errorf("error did not cancel remaining work: %d verdicts ran", n)
+	}
+}
+
+// TestProgressStreaming: the aggregator reports monotonically increasing
+// completed-sample counts ending at N.
+func TestProgressStreaming(t *testing.T) {
+	p := charstring.MustParams(0.3, 0.2)
+	var mu sync.Mutex
+	var seen []int
+	cfg := Config{N: 3_000, Seed: 3, Workers: 4, BatchSize: 500, Progress: func(done, total int) {
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+		if total != 3_000 {
+			t.Errorf("total = %d", total)
+		}
+	}}
+	if _, err := Run(cfg, sampler(p, 20), countAdversarial); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 progress events, got %v", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("progress not increasing: %v", seen)
+		}
+	}
+	if seen[len(seen)-1] != 3_000 {
+		t.Fatalf("progress did not reach N: %v", seen)
+	}
+}
+
+// TestEstimateWilson: Estimate carries exactly the stats.Wilson interval.
+func TestEstimateWilson(t *testing.T) {
+	e := NewEstimate(49, 4000)
+	lo, hi := stats.Wilson(49, 4000)
+	if e.Lo != lo || e.Hi != hi || e.P != 49.0/4000 {
+		t.Fatalf("estimate fields wrong: %+v", e)
+	}
+	if s := e.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	zero := NewEstimate(0, 0)
+	if zero.P != 0 || zero.Lo != 0 || zero.Hi != 1 {
+		t.Fatalf("empty-sample estimate wrong: %+v", zero)
+	}
+}
+
+// TestRunEdgeCases: N ≤ 0 and nil hooks.
+func TestRunEdgeCases(t *testing.T) {
+	p := charstring.MustParams(0.3, 0.2)
+	e, err := Run(Config{N: 0, Seed: 1}, sampler(p, 10), countAdversarial)
+	if err != nil || e.N != 0 {
+		t.Fatalf("N=0: %v, %v", e, err)
+	}
+	if _, err := Run(Config{N: 10}, nil, countAdversarial); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	if _, err := Run(Config{N: 10}, sampler(p, 10), nil); err == nil {
+		t.Fatal("nil verdict accepted")
+	}
+}
+
+// TestForEachCoversAllIndices: each index runs exactly once, at any pool size.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 97
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachError: the first error is returned and cancels remaining work.
+func TestForEachError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Errorf("error did not stop the loop: %d iterations", n)
+	}
+}
+
+// TestBatchRNGDecorrelated: neighbouring (seed, batch) pairs give distinct
+// streams — a smoke test of the avalanche mixing.
+func TestBatchRNGDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for b := 0; b < 4; b++ {
+			v := BatchRNG(seed, b).Int63()
+			if seen[v] {
+				t.Fatalf("colliding first draw for seed=%d batch=%d", seed, b)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"multihonest/internal/charstring"
+	"multihonest/internal/runner"
 )
 
 // Table1Alphas are the adversarial-slot probabilities α = Pr[A] of the
@@ -36,7 +37,12 @@ type Table struct {
 // block it runs one DP sweep to the largest horizon and reads off every
 // smaller horizon. Alphas, fractions and horizons may be overridden; nil
 // slices select the paper's values.
-func ComputeTable1(alphas, fractions []float64, horizons []int) (*Table, error) {
+//
+// The (α, fraction) blocks are independent DP chains, so they are swept on
+// a worker pool (workers ≤ 0 selects all CPUs, 1 is the serial path). The
+// per-cell values are exact either way — parallelism only reorders which
+// block finishes first, never what a block computes.
+func ComputeTable1(alphas, fractions []float64, horizons []int, workers int) (*Table, error) {
 	if alphas == nil {
 		alphas = Table1Alphas
 	}
@@ -53,20 +59,34 @@ func ComputeTable1(alphas, fractions []float64, horizons []int) (*Table, error) 
 		}
 		kmax = max(kmax, k)
 	}
-	t := &Table{Cells: make(map[Cell]float64, len(alphas)*len(fractions)*len(horizons))}
+	type block struct {
+		frac, alpha float64
+		curve       []float64
+	}
+	blocks := make([]block, 0, len(alphas)*len(fractions))
 	for _, frac := range fractions {
 		for _, alpha := range alphas {
-			p, err := charstring.ParamsFromAlpha(alpha, frac*(1-alpha))
-			if err != nil {
-				return nil, fmt.Errorf("settlement: table cell α=%v frac=%v: %w", alpha, frac, err)
-			}
-			curve, err := New(p).ViolationCurve(kmax)
-			if err != nil {
-				return nil, err
-			}
-			for _, k := range horizons {
-				t.Cells[Cell{HonestFraction: frac, K: k, Alpha: alpha}] = curve[k-1]
-			}
+			blocks = append(blocks, block{frac: frac, alpha: alpha})
+		}
+	}
+	// Each worker writes only blocks[i].curve, so the sweep is race-free;
+	// the map is assembled serially afterwards.
+	err := runner.ForEach(workers, len(blocks), func(i int) error {
+		b := &blocks[i]
+		p, err := charstring.ParamsFromAlpha(b.alpha, b.frac*(1-b.alpha))
+		if err != nil {
+			return fmt.Errorf("settlement: table cell α=%v frac=%v: %w", b.alpha, b.frac, err)
+		}
+		b.curve, err = New(p).ViolationCurve(kmax)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Cells: make(map[Cell]float64, len(blocks)*len(horizons))}
+	for _, b := range blocks {
+		for _, k := range horizons {
+			t.Cells[Cell{HonestFraction: b.frac, K: k, Alpha: b.alpha}] = b.curve[k-1]
 		}
 	}
 	return t, nil

@@ -1,0 +1,57 @@
+package settlement
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestComputeTable1WorkerInvariance: the parallel block sweep reproduces
+// the serial table exactly — cell for cell — at several pool sizes, and the
+// formatted rendering (the user-visible artifact) is byte-identical.
+func TestComputeTable1WorkerInvariance(t *testing.T) {
+	alphas := []float64{0.10, 0.30, 0.49}
+	fracs := []float64{1.0, 0.25}
+	horizons := []int{50, 100}
+	ref, err := ComputeTable1(alphas, fracs, horizons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Cells) != len(alphas)*len(fracs)*len(horizons) {
+		t.Fatalf("serial table has %d cells", len(ref.Cells))
+	}
+	for _, workers := range []int{0, 4, 8} {
+		got, err := ComputeTable1(alphas, fracs, horizons, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cells) != len(ref.Cells) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(got.Cells), len(ref.Cells))
+		}
+		for c, v := range ref.Cells {
+			if gv, ok := got.Cells[c]; !ok || gv != v {
+				t.Errorf("workers=%d: cell %+v = %v, want %v", workers, c, gv, v)
+			}
+		}
+		if got.Format() != ref.Format() {
+			t.Errorf("workers=%d: formatted table differs from serial", workers)
+		}
+	}
+}
+
+// TestComputeTable1Defaults: nil slices select the paper's grid, and bad
+// horizons are rejected before any DP work starts.
+func TestComputeTable1Defaults(t *testing.T) {
+	tbl, err := ComputeTable1(nil, []float64{1.0}, []int{20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Cells) != len(Table1Alphas) {
+		t.Fatalf("default alphas: %d cells", len(tbl.Cells))
+	}
+	if !strings.Contains(tbl.Format(), "α=0.49") {
+		t.Fatal("formatted table missing the α=0.49 column")
+	}
+	if _, err := ComputeTable1(nil, nil, []int{0}, 0); err == nil {
+		t.Fatal("horizon 0 accepted")
+	}
+}
