@@ -38,7 +38,7 @@ func once(b *testing.B, key string, f func()) {
 func BenchmarkTable1(b *testing.B) {
 	alphas := []float64{0.10, 0.30, 0.49}
 	fracs := []float64{1.0, 0.01}
-	horizons := []int{100, 200, 300}
+	horizons := []int{100, 300, 500}
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -87,16 +87,23 @@ func BenchmarkMCEngine(b *testing.B) {
 	}
 }
 
-// BenchmarkDPCapped/BenchmarkDPNaive: ablation of the exactness-preserving
-// state caps of the settlement DP (DESIGN.md §6).
+// BenchmarkDPCapped/BenchmarkDPNaive/BenchmarkDPPruned: ablations of the
+// settlement DP engine (DESIGN.md §6). Capped runs the banded lattice sweep
+// (the production path); Naive keeps the paper's full-size grid scanned in
+// full every step; Pruned adds τ-thresholding with the dropped-mass ledger
+// (certified bracket width ≤ τ × cells, negligible at τ = 1e-30).
 func BenchmarkDPCapped(b *testing.B) {
 	p := charstring.MustParams(1-2*0.30, 0.5*(1-0.30))
 	c := settlement.New(p)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.ViolationProbability(100); err != nil {
-			b.Fatal(err)
-		}
+	for _, k := range []int{100, 500} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ViolationProbability(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -109,6 +116,55 @@ func BenchmarkDPNaive(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkDPPruned(b *testing.B) {
+	p := charstring.MustParams(1-2*0.30, 0.5*(1-0.30))
+	c := settlement.New(p)
+	for _, k := range []int{100, 500} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var width float64
+			for i := 0; i < b.N; i++ {
+				lower, upper, err := c.ViolationCurveBracket(k, 1e-30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				width = upper[k-1] - lower[k-1]
+			}
+			b.ReportMetric(width, "bracket-width")
+		})
+	}
+}
+
+// BenchmarkUpperCurveIncremental: the fixed-geometry upper-bound curve
+// extended in doublings (the ConfirmationDepth access pattern) versus
+// recomputed from scratch at every doubling (the pre-lattice behaviour).
+func BenchmarkUpperCurveIncremental(b *testing.B) {
+	p := charstring.MustParams(1-2*0.25, 0.3)
+	c := settlement.New(p)
+	const cap = 128
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cv := c.UpperCurve(cap)
+			for span := 256; span <= 2048; span *= 2 {
+				if err := cv.Extend(span); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for span := 256; span <= 2048; span *= 2 {
+				if _, err := c.ViolationCurveUpper(span, cap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFigBound1 regenerates experiment E1: the Bound 1 generating-

@@ -6,22 +6,61 @@
 // Usage:
 //
 //	settle -alpha 0.3 -ph 0.1 -k 200
+//	settle -alpha 0.3 -ph 0.1 -k 200 -tau 1e-40    # pruned, certified bracket
 //	settle -alpha 0.3 -ph 0.1 -target 1e-9
 //	settle -alpha 0.3 -ph 0.1 -sweep -k 400
 //	settle -alpha 0.3 -ph 0.05 -k 60 -mc 200000 -workers 0
+//	settle -alpha 0.3 -ph 0.1 -k 200 -json
+//
+// -tau > 0 selects the pruned lattice sweep: negligible band-edge mass is
+// retired into a ledger and the answer is reported as a rigorous bracket
+// [lower, lower+dropped] that contains the exact value. -json emits every
+// computed quantity (point, bracket, curve, depth, timings) on stdout as
+// one machine-readable document.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-
 	"math"
+	"os"
+	"time"
 
 	"multihonest/internal/core"
 	"multihonest/internal/mc"
 	"multihonest/internal/stats"
 )
+
+// jsonOutput collects everything a settle invocation computed.
+type jsonOutput struct {
+	Alpha     float64 `json:"alpha"`
+	Ph        float64 `json:"ph"`
+	PH        float64 `json:"pH"`
+	Epsilon   float64 `json:"epsilon"`
+	Tau       float64 `json:"tau"`
+	K         int     `json:"k"`
+	Regime    regime  `json:"regime"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	P          *float64  `json:"p,omitempty"`           // point violation probability (lower end when τ > 0)
+	PUpper     *float64  `json:"p_upper,omitempty"`     // certified upper end (τ > 0)
+	Bound1     *float64  `json:"bound1_tail,omitempty"` // analytic certificate
+	Depth      *int      `json:"confirmation_depth,omitempty"`
+	Target     *float64  `json:"target,omitempty"`
+	Curve      []float64 `json:"curve,omitempty"`       // lower curve (sweep mode)
+	CurveUpper []float64 `json:"curve_upper,omitempty"` // upper ends (sweep mode, τ > 0)
+	DecayRate  *float64  `json:"fitted_decay_rate,omitempty"`
+	MC         string    `json:"mc_estimate,omitempty"`
+}
+
+type regime struct {
+	ThisPaper    bool `json:"this_paper"`
+	SleepySnow   bool `json:"sleepy_snow_white"`
+	PraosGenesis bool `json:"praos_genesis"`
+	Consistency  bool `json:"consistency"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +69,8 @@ func main() {
 	k := flag.Int("k", 200, "settlement horizon (slots)")
 	target := flag.Float64("target", 0, "if > 0, report the confirmation depth reaching this failure probability")
 	sweep := flag.Bool("sweep", false, "print the failure curve for horizons 1..k and fit the decay rate")
+	tau := flag.Float64("tau", 0, "pruning threshold (0 = exact; > 0 reports certified brackets)")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	mcN := flag.Int("mc", 0, "if > 0, cross-check the DP with this many Monte-Carlo samples")
 	prefix := flag.Int("prefix", 600, "finite prefix length |x| for the Monte-Carlo cross-check")
 	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
@@ -41,13 +82,22 @@ func main() {
 		log.Fatal(err)
 	}
 	r := a.Regime()
-	fmt.Printf("parameters: α=%.3f ph=%.3f pH=%.3f (ǫ=%.3f)\n", *alpha, *ph, a.Params().PH(), a.Params().Epsilon)
-	fmt.Printf("thresholds: ph+pH>pA (this paper): %v | ph>pA (Sleepy/SnowWhite): %v | ph−pH>pA (Praos/Genesis): %v\n",
-		r.ThisPaper, r.SleepySnow, r.PraosGenesis)
-	if !r.Consistency {
-		fmt.Println("WARNING: ph + pH ≤ pA — consistency is unachievable at these parameters.")
+	out := jsonOutput{
+		Alpha: *alpha, Ph: *ph, PH: a.Params().PH(), Epsilon: a.Params().Epsilon,
+		Tau: *tau, K: *k,
+		Regime: regime{ThisPaper: r.ThisPaper, SleepySnow: r.SleepySnow, PraosGenesis: r.PraosGenesis, Consistency: r.Consistency},
+	}
+	text := !*asJSON
+	if text {
+		fmt.Printf("parameters: α=%.3f ph=%.3f pH=%.3f (ǫ=%.3f)\n", *alpha, *ph, a.Params().PH(), a.Params().Epsilon)
+		fmt.Printf("thresholds: ph+pH>pA (this paper): %v | ph>pA (Sleepy/SnowWhite): %v | ph−pH>pA (Praos/Genesis): %v\n",
+			r.ThisPaper, r.SleepySnow, r.PraosGenesis)
+		if !r.Consistency {
+			fmt.Println("WARNING: ph + pH ≤ pA — consistency is unachievable at these parameters.")
+		}
 	}
 
+	start := time.Now()
 	switch {
 	case *target > 0:
 		depth, err := a.ConfirmationDepth(*target, 10*(*k)+1000)
@@ -55,39 +105,76 @@ func main() {
 			log.Fatal(err)
 		}
 		p, _ := a.SettlementFailure(depth)
-		fmt.Printf("confirmation depth for failure ≤ %.3g: k = %d (failure %.3g)\n", *target, depth, p)
+		out.Depth, out.Target, out.P = &depth, target, &p
+		if text {
+			fmt.Printf("confirmation depth for failure ≤ %.3g: k = %d (failure %.3g)\n", *target, depth, p)
+		}
 	case *sweep:
-		curve, err := a.SettlementCurve(*k)
+		lower, upper, err := a.SettlementCurveBracket(*k, *tau)
 		if err != nil {
 			log.Fatal(err)
 		}
+		out.Curve = lower
+		if *tau > 0 {
+			out.CurveUpper = upper
+		}
 		var xs, ys []float64
-		fmt.Println("k\tPr[violation]")
+		if text {
+			fmt.Println("k\tPr[violation]")
+		}
 		for kk := 20; kk <= *k; kk += max(*k/20, 1) {
-			fmt.Printf("%d\t%.6e\n", kk, curve[kk-1])
+			if text {
+				fmt.Printf("%d\t%.6e\n", kk, lower[kk-1])
+			}
 			xs = append(xs, float64(kk))
-			ys = append(ys, curve[kk-1])
+			ys = append(ys, lower[kk-1])
 		}
 		if fit, err := stats.FitExpDecay(xs, ys); err == nil {
-			fmt.Printf("fitted decay: Pr ≈ %.3g · exp(−%.5f·k)  (R²=%.4f)\n", math.Exp(fit.Intercept), fit.Rate, fit.R2)
+			out.DecayRate = &fit.Rate
+			if text {
+				fmt.Printf("fitted decay: Pr ≈ %.3g · exp(−%.5f·k)  (R²=%.4f)\n", math.Exp(fit.Intercept), fit.Rate, fit.R2)
+			}
 		}
-		if rate, err := a.Bound1Rate(); err == nil {
+		if rate, err := a.Bound1Rate(); err == nil && text {
 			fmt.Printf("Bound 1 analytic rate: %.5f per slot\n", rate)
 		}
 	default:
-		p, err := a.SettlementFailure(*k)
+		lo, hi, err := a.SettlementBracket(*k, *tau)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Pr[slot unsettled after %d slots, optimal adversary] = %.6e\n", *k, p)
+		out.P = &lo
+		if *tau > 0 {
+			out.PUpper = &hi
+			if text {
+				fmt.Printf("Pr[slot unsettled after %d slots, optimal adversary] ∈ [%.6e, %.6e]  (τ=%.3g)\n", *k, lo, hi, *tau)
+			}
+		} else if text {
+			fmt.Printf("Pr[slot unsettled after %d slots, optimal adversary] = %.6e\n", *k, lo)
+		}
 		if b, err := a.Bound1Tail(*k); err == nil {
-			fmt.Printf("analytic Bound-1 certificate:                      ≤ %.6e\n", b)
+			out.Bound1 = &b
+			if text {
+				fmt.Printf("analytic Bound-1 certificate:                      ≤ %.6e\n", b)
+			}
 		}
 	}
 
 	if *mcN > 0 {
 		est := mc.SettlementViolation(a.Params(), *prefix, *k, *mcN, *seed, *workers)
-		fmt.Printf("Monte-Carlo cross-check (|x|=%d, n=%d, seed=%d):    %v\n", *prefix, *mcN, *seed, est)
-		fmt.Println("(the DP value should fall inside — or within β^|x| of — the Wilson interval)")
+		out.MC = fmt.Sprint(est)
+		if text {
+			fmt.Printf("Monte-Carlo cross-check (|x|=%d, n=%d, seed=%d):    %v\n", *prefix, *mcN, *seed, est)
+			fmt.Println("(the DP value should fall inside — or within β^|x| of — the Wilson interval)")
+		}
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -56,33 +56,50 @@ func (a *Analyzer) SettlementCurve(k int) ([]float64, error) {
 // probability is certified at most target, searching up to kmax; it errors
 // when even kmax does not reach the target.
 //
-// The certificate is the rigorous linear-time upper bound of
-// settlement.ViolationCurveUpper (exact up to a slack below target/100),
-// so the returned depth is safe and at most negligibly conservative; large
-// kmax stays cheap, unlike the O(k³) exact DP.
+// The certificate is the rigorous upper bound of settlement.UpperCurve
+// (exact up to a slack below target/100), so the returned depth is safe and
+// at most negligibly conservative. The doubling search extends one cached
+// incremental curve, so every lattice step is taken exactly once however
+// deep the search goes — large kmax stays cheap, unlike the O(k³) exact DP.
 func (a *Analyzer) ConfirmationDepth(target float64, kmax int) (int, error) {
 	if target <= 0 || target >= 1 {
 		return 0, fmt.Errorf("core: target %v outside (0,1)", target)
 	}
-	cap := a.comp.CapForTarget(target)
-	// Doubling search keeps the common small-depth case fast.
-	last := 0.0
+	if kmax < 1 {
+		return 0, fmt.Errorf("core: kmax %d must be ≥ 1", kmax)
+	}
+	cv := a.comp.UpperCurve(a.comp.CapForTarget(target))
+	scanned := 0
 	for span := min(256, kmax); ; span = min(span*2, kmax) {
-		curve, err := a.comp.ViolationCurveUpper(span, cap)
-		if err != nil {
+		if err := cv.Extend(span); err != nil {
 			return 0, err
 		}
-		for k, p := range curve {
-			if p <= target {
-				return k + 1, nil
+		for k := scanned + 1; k <= span; k++ {
+			if cv.Upper(k) <= target {
+				return k, nil
 			}
 		}
-		last = curve[span-1]
+		scanned = span
 		if span == kmax {
 			break
 		}
 	}
-	return 0, fmt.Errorf("core: failure bound %.3g at k=%d still above target %.3g", last, kmax, target)
+	return 0, fmt.Errorf("core: failure bound %.3g at k=%d still above target %.3g", cv.Upper(kmax), kmax, target)
+}
+
+// SettlementBracket returns a rigorous bracket [lower, upper] containing
+// the exact settlement-failure probability at horizon k, computed with
+// band-edge pruning at threshold tau (the exactness/speed knob: tau = 0
+// collapses the bracket to the exact value, larger tau trades certified
+// width for a smaller live DP window).
+func (a *Analyzer) SettlementBracket(k int, tau float64) (lower, upper float64, err error) {
+	return a.comp.ViolationBracket(k, tau)
+}
+
+// SettlementCurveBracket returns rigorous per-horizon brackets for every
+// horizon 1..k at pruning threshold tau (see SettlementBracket).
+func (a *Analyzer) SettlementCurveBracket(k int, tau float64) (lower, upper []float64, err error) {
+	return a.comp.ViolationCurveBracket(k, tau)
 }
 
 // ThresholdRegime names which published analyses cover a parameter point.

@@ -101,3 +101,43 @@ func TestDiagnose(t *testing.T) {
 		t.Fatal("the adversarial tail should unsettle late slots")
 	}
 }
+
+// TestConfirmationDepthIncrementalEquivalence: the doubling search over the
+// cached incremental upper curve returns exactly the depth a direct scan of
+// the one-shot upper-bound curve finds, across targets that land on both
+// sides of the first doubling span.
+func TestConfirmationDepthIncrementalEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		alpha, ph float64
+		target    float64
+		kmax      int
+	}{
+		{0.25, 0.3, 1e-6, 600},   // depth inside the first span
+		{0.30, 0.10, 1e-8, 2000}, // slow decay: depth beyond one doubling
+		{0.20, 0.64, 1e-12, 400},
+	} {
+		a, err := New(tc.alpha, tc.ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.ConfirmationDepth(tc.target, tc.kmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := a.comp.ViolationCurveUpper(tc.kmax, a.comp.CapForTarget(tc.target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for k, p := range curve {
+			if p <= tc.target {
+				want = k + 1
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("α=%v ph=%v target=%g: incremental depth %d != direct scan %d",
+				tc.alpha, tc.ph, tc.target, got, want)
+		}
+	}
+}

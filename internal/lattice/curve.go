@@ -1,0 +1,102 @@
+package lattice
+
+import "fmt"
+
+// Builder constructs a fresh, seeded engine whose sweep is faithful (exact,
+// or rigorously conservative for sticky-reach chains) for every horizon
+// t ≤ kCap. Fixed-geometry chains — the saturating upper-bound chain, whose
+// caps do not depend on the horizon — may ignore kCap.
+type Builder func(kCap int) (*Engine, error)
+
+// Curve is an incrementally extensible settlement curve: the per-horizon
+// readout Pr[s ≥ 0] of one lattice chain, together with the pruning ledger
+// that brackets it. Extending a Curve from horizon k to 2k continues the
+// cached sweep instead of restarting it — for fixed-geometry chains every
+// lattice step is taken exactly once no matter how the horizon grows, which
+// is what makes doubling searches (core.ConfirmationDepth) linear instead
+// of quadratic in the final depth.
+//
+// For horizon-dependent geometries (the exact chain, whose caps must cover
+// the largest horizon) extension past the built capacity rebuilds with at
+// least doubled capacity and replays, so total work stays within 2× of a
+// single sweep to the final horizon.
+type Curve struct {
+	build Builder
+	fixed bool
+
+	eng   *Engine
+	cap   int       // horizons ≤ cap are faithful for eng's geometry
+	lower []float64 // lower[t-1]: band mass at s ≥ 0 after t steps
+	drop  []float64 // drop[t-1]: cumulative pruned mass after t steps
+}
+
+// NewCurve wraps a Builder. fixedGeometry declares that the builder's
+// engine is faithful at every horizon regardless of kCap.
+func NewCurve(b Builder, fixedGeometry bool) *Curve {
+	return &Curve{build: b, fixed: fixedGeometry}
+}
+
+// Len returns the largest horizon computed so far.
+func (c *Curve) Len() int { return len(c.lower) }
+
+// Extend advances the cached sweep so that every horizon 1..k is available.
+// It is a no-op when k ≤ Len().
+func (c *Curve) Extend(k int) error {
+	if k < 1 {
+		return fmt.Errorf("lattice: horizon %d must be ≥ 1", k)
+	}
+	if k <= len(c.lower) {
+		return nil
+	}
+	if c.eng == nil || (!c.fixed && k > c.cap) {
+		kCap := k
+		if c.eng != nil {
+			kCap = max(k, 2*c.cap)
+		}
+		eng, err := c.build(kCap)
+		if err != nil {
+			return err
+		}
+		c.eng, c.cap = eng, kCap
+		c.lower, c.drop = c.lower[:0], c.drop[:0]
+	}
+	for t := len(c.lower); t < k; t++ {
+		c.eng.Step()
+		c.lower = append(c.lower, c.eng.TailMass())
+		c.drop = append(c.drop, c.eng.Dropped())
+	}
+	return nil
+}
+
+// Lower returns the computed band mass at horizon t ∈ [1, Len()]: a lower
+// end of the bracket (and the exact chain value when τ = 0).
+func (c *Curve) Lower(t int) float64 { return c.lower[t-1] }
+
+// Upper returns the certified upper end of the bracket at horizon t:
+// Lower(t) plus all mass pruned so far, clamped to 1.
+func (c *Curve) Upper(t int) float64 {
+	u := c.lower[t-1] + c.drop[t-1]
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Bracket returns [Lower(t), Upper(t)]. The exact value of the unpruned
+// chain at horizon t always lies inside.
+func (c *Curve) Bracket(t int) (lo, hi float64) { return c.Lower(t), c.Upper(t) }
+
+// Dropped returns the total pruned mass over the sweep so far.
+func (c *Curve) Dropped() float64 {
+	if n := len(c.drop); n > 0 {
+		return c.drop[n-1]
+	}
+	return 0
+}
+
+// Values returns a copy of the lower curve for horizons 1..Len().
+func (c *Curve) Values() []float64 {
+	out := make([]float64, len(c.lower))
+	copy(out, c.lower)
+	return out
+}

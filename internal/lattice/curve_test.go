@@ -1,0 +1,113 @@
+package lattice
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func builder(g Geometry, sticky bool, tau float64) Builder {
+	return func(kCap int) (*Engine, error) {
+		e, err := NewEngine(g, testStencil(sticky), Options{Tau: tau})
+		if err != nil {
+			return nil, err
+		}
+		seedGeometric(e, g.RMax, 0.42)
+		return e, nil
+	}
+}
+
+// exactBuilder sizes the geometry from the requested capacity, like the
+// exact settlement chain does.
+func exactBuilder(tau float64) Builder {
+	return func(kCap int) (*Engine, error) {
+		e, err := NewEngine(Geometry{RMax: kCap + 1, SMin: -kCap, SMax: kCap + 1}, testStencil(false), Options{Tau: tau})
+		if err != nil {
+			return nil, err
+		}
+		seedGeometric(e, kCap+1, 0.42)
+		return e, nil
+	}
+}
+
+// TestCurveIncrementalFixed: for a fixed-geometry chain, extending in
+// stages is bit-identical to one shot — the sweep genuinely continues.
+func TestCurveIncrementalFixed(t *testing.T) {
+	g := Geometry{RMax: 32, SMin: -32, SMax: 32}
+	staged := NewCurve(builder(g, true, 0), true)
+	for _, k := range []int{7, 8, 40, 64} {
+		if err := staged.Extend(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneshot := NewCurve(builder(g, true, 0), true)
+	if err := oneshot.Extend(64); err != nil {
+		t.Fatal(err)
+	}
+	if staged.Len() != 64 || oneshot.Len() != 64 {
+		t.Fatalf("lengths %d, %d", staged.Len(), oneshot.Len())
+	}
+	for k := 1; k <= 64; k++ {
+		if staged.Lower(k) != oneshot.Lower(k) {
+			t.Fatalf("k=%d: staged %.17g != oneshot %.17g", k, staged.Lower(k), oneshot.Lower(k))
+		}
+	}
+}
+
+// TestCurveRebuild: a horizon-dependent curve extended past capacity
+// rebuilds with doubled caps and reproduces the fresh sweep.
+func TestCurveRebuild(t *testing.T) {
+	staged := NewCurve(exactBuilder(0), false)
+	if err := staged.Extend(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.Extend(45); err != nil { // past capacity: rebuild
+		t.Fatal(err)
+	}
+	fresh := NewCurve(exactBuilder(0), false)
+	if err := fresh.Extend(45); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 45; k++ {
+		s, f := staged.Lower(k), fresh.Lower(k)
+		if math.Abs(s-f) > 1e-13*math.Max(f, 1e-300) {
+			t.Fatalf("k=%d: staged %.17g != fresh %.17g", k, s, f)
+		}
+	}
+}
+
+// TestCurveBracket: brackets are ordered, cumulative, and clamp at 1.
+func TestCurveBracket(t *testing.T) {
+	c := NewCurve(exactBuilder(1e-10), false)
+	if err := c.Extend(30); err != nil {
+		t.Fatal(err)
+	}
+	prevDrop := 0.0
+	for k := 1; k <= 30; k++ {
+		lo, hi := c.Bracket(k)
+		if lo > hi || hi > 1 || lo < 0 {
+			t.Fatalf("k=%d: bad bracket [%v, %v]", k, lo, hi)
+		}
+		drop := hi - lo
+		if drop+1e-15 < prevDrop {
+			t.Fatalf("k=%d: ledger shrank: %v < %v", k, drop, prevDrop)
+		}
+		prevDrop = drop
+	}
+	if c.Dropped() <= 0 {
+		t.Error("pruned curve has empty ledger")
+	}
+}
+
+// TestCurveErrors: bad horizons and builder failures surface.
+func TestCurveErrors(t *testing.T) {
+	c := NewCurve(exactBuilder(0), false)
+	if err := c.Extend(0); err == nil {
+		t.Error("Extend(0) accepted")
+	}
+	boom := errors.New("boom")
+	cf := NewCurve(func(int) (*Engine, error) { return nil, boom }, false)
+	if err := cf.Extend(5); !errors.Is(err, boom) {
+		t.Errorf("builder error lost: %v", err)
+	}
+}

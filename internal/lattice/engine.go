@@ -1,0 +1,438 @@
+// Package lattice is the shared computational engine behind every settlement
+// sweep of the reproduction: a capped two-dimensional lattice Markov chain
+// over the joint (reach r, relative margin s) state of Theorem 5, advanced by
+// the single transition stencil of Section 6.6.
+//
+// The four hand-rolled kernels that used to live in internal/settlement
+// (exact capped, paper-sized naive, finite-prefix, saturating upper bound)
+// are all instances of one chain family, differing only in geometry and in
+// one boundary rule. The engine factors that family into three orthogonal
+// pieces:
+//
+//   - Geometry: the saturating caps r ∈ [0, RMax], s ∈ [SMin, SMax]. Mass
+//     pushed past a cap pools in the boundary cell.
+//   - Stencil: the per-step law. An adversarial symbol (probability PA) maps
+//     (r, s) → (r+1, s+1); an honest symbol (probability Ph + PH) maps
+//     (r, s) → (max(r−1, 0), s−1) except at the s = 0 boundary, where a
+//     uniquely honest symbol resets to s' = 0 only when r > 0 while a
+//     multiply honest symbol always resets (the µ-recurrence of Theorem 5).
+//     StickyReach selects the conservative upper-bound variant in which a
+//     saturated reach stays saturated on honest steps.
+//   - Options: the execution policy — active-window tracking versus
+//     full-grid scans, and the pruning threshold τ.
+//
+// # Active-window tracking
+//
+// Both coordinates move by at most one per step, so the support of the mass
+// distribution grows by at most one cell per step in each direction — and in
+// float64 it also *contracts*: cells whose mass underflows to zero (or falls
+// below τ) die, and the live region concentrates around the drift. The
+// engine maintains a per-row live interval [lo(r), hi(r)] and a live row
+// window [rLo, rHi], scanning only live cells each step. On the Table 1
+// grids this touches well under a tenth of the cells the full scan visits.
+//
+// # Threshold pruning and the dropped-mass ledger
+//
+// With τ > 0 the engine retires band-edge cells whose mass is ≤ τ and adds
+// the retired mass to a ledger. Because total mass is conserved by the
+// transition, removing a packet of mass m at any step can lower any later
+// event probability by at most m and can never raise it; the exact value of
+// the unpruned chain therefore always lies in [TailMass, TailMass+Dropped].
+// τ = 0 is the exact mode: only cells that are exactly zero are retired, the
+// ledger stays identically zero, and the bracket collapses to the exact
+// value. Interior cells are never pruned, only band edges, so the live
+// region stays a contiguous band per row.
+package lattice
+
+import "fmt"
+
+// Geometry is the saturating state-space box: r ∈ [0, RMax], s ∈ [SMin, SMax].
+type Geometry struct {
+	RMax int // reach cap (mass at r > RMax pools at RMax)
+	SMin int // lower margin cap, must be ≤ −1
+	SMax int // upper margin cap, must be ≥ +1
+}
+
+// Stencil is the one-step transition law of the (reach, margin) chain family.
+// PA + Ph + PH should sum to 1 for a probability chain; the engine conserves
+// whatever total the stencil preserves.
+type Stencil struct {
+	PA float64 // adversarial symbol: (r, s) → (r+1, s+1)
+	Ph float64 // uniquely honest: s' = 0 iff s == 0 and r > 0, else s−1
+	PH float64 // multiply honest: s' = 0 iff s == 0, else s−1
+	// StickyReach keeps a saturated reach saturated on honest steps
+	// (r' = RMax instead of RMax−1): the conservative rule of the rigorous
+	// upper-bound chain, whose saturation cells dominate the true chain.
+	StickyReach bool
+}
+
+// Options selects the execution policy.
+type Options struct {
+	// Tau is the pruning threshold: band-edge cells with mass ≤ Tau are
+	// retired into the dropped-mass ledger. Tau = 0 retires only exact
+	// zeros and keeps the sweep exact.
+	Tau float64
+	// Full disables active-window tracking and pruning: every step scans
+	// the whole grid. This is the ablation baseline (and the faithful
+	// re-expression of the paper's naive full-size sweep).
+	Full bool
+}
+
+// Engine advances mass over the capped lattice one step at a time.
+// It is not safe for concurrent use; run independent chains on independent
+// engines (that is how the Table 1 block sweep parallelizes).
+type Engine struct {
+	geo Geometry
+	st  Stencil
+	opt Options
+
+	width int // SMax − SMin + 1
+	off   int // −SMin: index of s = 0 within a row
+
+	cur, next []float64 // flat [r*width + s+off] double buffer
+	lo, hi    []int     // live interval per row of cur (s-coordinates)
+	nLo, nHi  []int     // scratch intervals for next
+	rLo, rHi  int       // live row window of cur; rLo > rHi means empty
+
+	dropped float64
+	steps   int
+}
+
+// NewEngine validates the configuration and returns an empty engine.
+func NewEngine(g Geometry, st Stencil, opt Options) (*Engine, error) {
+	if g.RMax < 1 || g.SMin > -1 || g.SMax < 1 {
+		return nil, fmt.Errorf("lattice: invalid geometry %+v (need RMax ≥ 1, SMin ≤ −1, SMax ≥ 1)", g)
+	}
+	for _, p := range []float64{st.PA, st.Ph, st.PH} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("lattice: stencil probability %v outside [0,1]", p)
+		}
+	}
+	if opt.Tau < 0 {
+		return nil, fmt.Errorf("lattice: negative pruning threshold %v", opt.Tau)
+	}
+	if opt.Full && opt.Tau != 0 {
+		return nil, fmt.Errorf("lattice: pruning (τ=%v) requires window tracking; Full mode is exact-only", opt.Tau)
+	}
+	e := &Engine{
+		geo:   g,
+		st:    st,
+		opt:   opt,
+		width: g.SMax - g.SMin + 1,
+		off:   -g.SMin,
+	}
+	n := (g.RMax + 1) * e.width
+	e.cur = make([]float64, n)
+	e.next = make([]float64, n)
+	e.lo = make([]int, g.RMax+1)
+	e.hi = make([]int, g.RMax+1)
+	e.nLo = make([]int, g.RMax+1)
+	e.nHi = make([]int, g.RMax+1)
+	e.rLo, e.rHi = g.RMax+1, -1
+	if opt.Full {
+		for r := range e.lo {
+			e.lo[r], e.hi[r] = g.SMin, g.SMax
+		}
+		e.rLo, e.rHi = 0, g.RMax
+	}
+	return e, nil
+}
+
+// Add deposits mass at (r, s), saturating both coordinates into the geometry
+// box. Non-positive mass is ignored. Add is intended for seeding the initial
+// law before the first Step.
+func (e *Engine) Add(r, s int, mass float64) {
+	if mass <= 0 {
+		return
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r > e.geo.RMax {
+		r = e.geo.RMax
+	}
+	if s < e.geo.SMin {
+		s = e.geo.SMin
+	}
+	if s > e.geo.SMax {
+		s = e.geo.SMax
+	}
+	if !e.opt.Full {
+		// Rows outside [rLo, rHi] and cells outside [lo, hi] may hold stale
+		// garbage from the lazy zeroing; initialize intervals explicitly.
+		if e.rLo > e.rHi { // first deposit
+			e.rLo, e.rHi = r, r
+			e.lo[r], e.hi[r] = s, s
+			e.cur[r*e.width+s+e.off] = mass
+			return
+		}
+		for rr := r; rr < e.rLo; rr++ {
+			e.lo[rr], e.hi[rr] = 1, 0 // empty sentinel
+		}
+		for rr := e.rHi + 1; rr <= r; rr++ {
+			e.lo[rr], e.hi[rr] = 1, 0
+		}
+		e.rLo, e.rHi = min(e.rLo, r), max(e.rHi, r)
+		lo, hi := e.lo[r], e.hi[r]
+		if lo > hi { // row was empty
+			e.lo[r], e.hi[r] = s, s
+			e.cur[r*e.width+s+e.off] = mass
+			return
+		}
+		base := r * e.width
+		for ss := s; ss < lo; ss++ {
+			e.cur[base+ss+e.off] = 0
+		}
+		for ss := hi + 1; ss <= s; ss++ {
+			e.cur[base+ss+e.off] = 0
+		}
+		e.lo[r], e.hi[r] = min(lo, s), max(hi, s)
+	}
+	e.cur[r*e.width+s+e.off] += mass
+}
+
+// Steps returns how many steps have been taken.
+func (e *Engine) Steps() int { return e.steps }
+
+// Dropped returns the cumulative pruned mass (the ledger). It is exactly
+// zero in exact mode (τ = 0).
+func (e *Engine) Dropped() float64 { return e.dropped }
+
+// Window returns the bounding box of the live region (rLo, rHi, sLo, sHi).
+// An empty engine returns rLo > rHi.
+func (e *Engine) Window() (rLo, rHi, sLo, sHi int) {
+	if e.rLo > e.rHi {
+		return e.rLo, e.rHi, 0, 0
+	}
+	sLo, sHi = e.geo.SMax+1, e.geo.SMin-1
+	for r := e.rLo; r <= e.rHi; r++ {
+		if e.lo[r] <= e.hi[r] {
+			sLo, sHi = min(sLo, e.lo[r]), max(sHi, e.hi[r])
+		}
+	}
+	return e.rLo, e.rHi, sLo, sHi
+}
+
+// TailMass returns the mass at s ≥ 0 — the settlement-violation readout
+// Pr[µ ≥ 0] of the current step.
+func (e *Engine) TailMass() float64 {
+	total := 0.0
+	for r := e.rLo; r <= e.rHi; r++ {
+		lo, hi := e.lo[r], e.hi[r]
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > hi {
+			continue
+		}
+		base := r*e.width + e.off
+		for s := lo; s <= hi; s++ {
+			total += e.cur[base+s]
+		}
+	}
+	return total
+}
+
+// Total returns the mass currently on the lattice (excluding the ledger).
+func (e *Engine) Total() float64 {
+	total := 0.0
+	for r := e.rLo; r <= e.rHi; r++ {
+		lo, hi := e.lo[r], e.hi[r]
+		if lo > hi {
+			continue
+		}
+		base := r*e.width + e.off
+		for s := lo; s <= hi; s++ {
+			total += e.cur[base+s]
+		}
+	}
+	return total
+}
+
+// shiftAdd accumulates f · src[s] into dst[s+shift] for s ∈ [lo, hi], with
+// the destination saturated into [SMin, SMax]. Only the extreme source cell
+// can saturate (|shift| = 1), which it does by accumulating into the
+// boundary cell. Returns the written destination range (empty when lo > hi
+// or f == 0).
+func (e *Engine) shiftAdd(dst, src []float64, lo, hi, shift int, f float64) (int, int) {
+	if lo > hi || f == 0 {
+		return 1, 0
+	}
+	o := e.off
+	wLo, wHi := lo+shift, hi+shift
+	if wLo < e.geo.SMin { // shift = −1, lo == SMin
+		dst[e.geo.SMin+o] += f * src[e.geo.SMin+o]
+		lo++
+		wLo = e.geo.SMin
+		if lo > hi {
+			return wLo, wLo
+		}
+	}
+	if wHi > e.geo.SMax { // shift = +1, hi == SMax
+		dst[e.geo.SMax+o] += f * src[e.geo.SMax+o]
+		hi--
+		wHi = e.geo.SMax
+		if lo > hi {
+			return wHi, wHi
+		}
+	}
+	d := dst[lo+shift+o : hi+shift+o+1]
+	s := src[lo+o : hi+o+1]
+	_ = s[len(d)-1]
+	for i := range d {
+		d[i] += f * s[i]
+	}
+	return wLo, wHi
+}
+
+// honestInto accumulates the honest-step flow of source row src (live
+// interval [lo, hi]) into destination row dst, handling the s = 0 boundary:
+// for srcR > 0 all honest mass at s = 0 stays at s' = 0; for srcR == 0 the
+// uniquely honest share descends to s' = −1 and the multiply honest share
+// stays (Theorem 5's µ-recurrence).
+func (e *Engine) honestInto(dst, src []float64, lo, hi, srcR int) {
+	q := e.st.Ph + e.st.PH
+	o := e.off
+	if hi < 0 || lo > 0 { // interval misses s = 0: uniform descent
+		e.shiftAdd(dst, src, lo, hi, -1, q)
+		return
+	}
+	e.shiftAdd(dst, src, lo, -1, -1, q)
+	m := src[o]
+	if m != 0 {
+		if srcR > 0 {
+			dst[o] += q * m
+		} else {
+			dst[o-1] += e.st.Ph * m // s' = −1 ≥ SMin by geometry validation
+			dst[o] += e.st.PH * m
+		}
+	}
+	e.shiftAdd(dst, src, 1, hi, -1, q)
+}
+
+// Step advances the chain by one step.
+func (e *Engine) Step() {
+	defer func() { e.steps++ }()
+	if e.rLo > e.rHi {
+		return
+	}
+	g := e.geo
+	rdLo, rdHi := max(e.rLo-1, 0), min(e.rHi+1, g.RMax)
+
+	for rd := rdLo; rd <= rdHi; rd++ {
+		// Contributing source rows and the union of their live intervals.
+		// A-flow arrives from rd−1 (and from rd itself when rd == RMax,
+		// via reach saturation); honest flow arrives from rd+1 (suppressed
+		// when StickyReach pins row RMax), from rd itself when rd == 0
+		// (reach reflection) or when rd == RMax under StickyReach.
+		sLo, sHi := g.SMax+1, g.SMin-1
+		srcA := rd - 1
+		if e.live(srcA) {
+			sLo, sHi = min(sLo, e.lo[srcA]), max(sHi, e.hi[srcA])
+		} else {
+			srcA = -1
+		}
+		srcASat := -1
+		if rd == g.RMax && e.live(rd) {
+			srcASat = rd
+			sLo, sHi = min(sLo, e.lo[rd]), max(sHi, e.hi[rd])
+		}
+		srcH := rd + 1
+		if srcH > g.RMax || (e.st.StickyReach && srcH == g.RMax) || !e.live(srcH) {
+			srcH = -1
+		} else {
+			sLo, sHi = min(sLo, e.lo[srcH]), max(sHi, e.hi[srcH])
+		}
+		srcHSelf := -1
+		if (rd == 0 || (e.st.StickyReach && rd == g.RMax)) && e.live(rd) {
+			srcHSelf = rd
+			sLo, sHi = min(sLo, e.lo[rd]), max(sHi, e.hi[rd])
+		}
+		if sLo > sHi {
+			e.nLo[rd], e.nHi[rd] = 1, 0
+			continue
+		}
+		// Conservative write range: every flow lands within one cell of a
+		// live source cell (and the s = 0 stay-flow lands inside any source
+		// interval containing 0). Zero it, accumulate, then let the prune
+		// pass trim the at-most-two unwritten edge cells.
+		zLo, zHi := max(sLo-1, g.SMin), min(sHi+1, g.SMax)
+		base := rd * e.width
+		dst := e.next[base : base+e.width]
+		clear(dst[zLo+e.off : zHi+e.off+1])
+
+		if srcA >= 0 {
+			src := e.cur[srcA*e.width : srcA*e.width+e.width]
+			e.shiftAdd(dst, src, e.lo[srcA], e.hi[srcA], 1, e.st.PA)
+		}
+		if srcASat >= 0 {
+			src := e.cur[srcASat*e.width : srcASat*e.width+e.width]
+			e.shiftAdd(dst, src, e.lo[srcASat], e.hi[srcASat], 1, e.st.PA)
+		}
+		if srcH >= 0 {
+			src := e.cur[srcH*e.width : srcH*e.width+e.width]
+			e.honestInto(dst, src, e.lo[srcH], e.hi[srcH], srcH)
+		}
+		if srcHSelf >= 0 {
+			src := e.cur[srcHSelf*e.width : srcHSelf*e.width+e.width]
+			e.honestInto(dst, src, e.lo[srcHSelf], e.hi[srcHSelf], srcHSelf)
+		}
+		e.nLo[rd], e.nHi[rd] = zLo, zHi
+	}
+
+	if e.opt.Full {
+		// Full mode: fixed window, no pruning. (Rows outside [rdLo, rdHi]
+		// were not recomputed; zero them so the full scan stays faithful.)
+		for rd := 0; rd < rdLo; rd++ {
+			base := rd * e.width
+			clear(e.next[base : base+e.width])
+		}
+		for rd := rdHi + 1; rd <= g.RMax; rd++ {
+			base := rd * e.width
+			clear(e.next[base : base+e.width])
+		}
+		for rd := rdLo; rd <= rdHi; rd++ {
+			base := rd * e.width
+			clear(e.next[base : base+e.off+e.nLo[rd]])
+			clear(e.next[base+e.off+e.nHi[rd]+1 : base+e.width])
+			e.nLo[rd], e.nHi[rd] = g.SMin, g.SMax
+		}
+		e.cur, e.next = e.next, e.cur
+		e.lo, e.nLo = e.nLo, e.lo
+		e.hi, e.nHi = e.nHi, e.hi
+		return
+	}
+
+	// Prune pass: trim band edges with mass ≤ τ into the ledger and
+	// contract the live window.
+	tau := e.opt.Tau
+	newRLo, newRHi := g.RMax+1, -1
+	for rd := rdLo; rd <= rdHi; rd++ {
+		lo, hi := e.nLo[rd], e.nHi[rd]
+		base := rd*e.width + e.off
+		for lo <= hi && e.next[base+lo] <= tau {
+			e.dropped += e.next[base+lo]
+			e.next[base+lo] = 0
+			lo++
+		}
+		for lo <= hi && e.next[base+hi] <= tau {
+			e.dropped += e.next[base+hi]
+			e.next[base+hi] = 0
+			hi--
+		}
+		e.nLo[rd], e.nHi[rd] = lo, hi
+		if lo <= hi {
+			newRLo, newRHi = min(newRLo, rd), max(newRHi, rd)
+		}
+	}
+	e.rLo, e.rHi = newRLo, newRHi
+	e.cur, e.next = e.next, e.cur
+	e.lo, e.nLo = e.nLo, e.lo
+	e.hi, e.nHi = e.nHi, e.hi
+}
+
+// live reports whether source row r is inside the live window with a
+// non-empty interval.
+func (e *Engine) live(r int) bool {
+	return r >= e.rLo && r <= e.rHi && e.lo[r] <= e.hi[r]
+}

@@ -12,12 +12,19 @@
 // by at most one per step, so pooling all reach mass ≥ k+1 (and margin mass
 // ≥ k+1) into a saturated cell cannot affect any ==0 test or the final sign
 // of the margin within a k-step horizon.
+//
+// Since the lattice refactor every sweep here — exact, paper-sized naive,
+// finite-prefix, and saturating upper bound — is a thin configuration of
+// the shared banded engine in internal/lattice (one transition stencil,
+// active-window tracking, optional τ-pruning with a rigorous dropped-mass
+// ledger). See DESIGN.md §6.
 package settlement
 
 import (
 	"fmt"
 
 	"multihonest/internal/charstring"
+	"multihonest/internal/lattice"
 	"multihonest/internal/walk"
 )
 
@@ -33,38 +40,89 @@ func New(p charstring.Params) *Computer { return &Computer{params: p} }
 // Params returns the parameter point.
 func (c *Computer) Params() charstring.Params { return c.params }
 
-// grid is the capped joint law of (r, s) = (ρ(xy..t), µ_x(y..t)).
-// r ∈ [0, rmax] with rmax saturated; s ∈ [-k, smax] with smax saturated.
-type grid struct {
-	k    int
-	rmax int       // = k+1
-	smax int       // = k+1
-	p    []float64 // p[r*(width)+(s+k)] with width = smax+k+1
+// stencil is the Section 6.6 transition law at this parameter point.
+func (c *Computer) stencil(sticky bool) lattice.Stencil {
+	ph, pH, pA := c.params.Probabilities()
+	return lattice.Stencil{PA: pA, Ph: ph, PH: pH, StickyReach: sticky}
 }
 
-func newGrid(k int) *grid {
-	g := &grid{k: k, rmax: k + 1, smax: k + 1}
-	g.p = make([]float64, (g.rmax+1)*(g.smax+g.k+1))
-	return g
+// exactEngine builds a lattice engine whose sweep is exact for every
+// horizon t ≤ k: caps r ∈ [0, k+1], s ∈ [−k, k+1], diagonal initial mass
+// (reach r implies margin r before any y-symbol arrives) from init, which
+// must be a truncated reach law of length k+2 (index k+1 pooling the tail).
+func (c *Computer) exactEngine(k int, init []float64, tau float64) (*lattice.Engine, error) {
+	eng, err := lattice.NewEngine(
+		lattice.Geometry{RMax: k + 1, SMin: -k, SMax: k + 1},
+		c.stencil(false),
+		lattice.Options{Tau: tau},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for r, mass := range init {
+		eng.Add(r, r, mass)
+	}
+	return eng, nil
 }
 
-func (g *grid) width() int { return g.smax + g.k + 1 }
+// stationaryEngine is exactEngine seeded with the |x| → ∞ law X∞.
+func (c *Computer) stationaryEngine(k int, tau float64) (*lattice.Engine, error) {
+	sr, err := walk.NewStationaryReach(c.params.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return c.exactEngine(k, sr.Truncated(k+1), tau)
+}
 
-func (g *grid) at(r, s int) float64 { return g.p[r*g.width()+(s+g.k)] }
+// Curve returns an incrementally extensible settlement curve under the
+// |x| → ∞ initial law. τ = 0 is the exact mode; τ > 0 prunes band-edge
+// cells with mass ≤ τ and brackets every horizon as
+// [Lower, Lower+Dropped]. Extending past the built capacity rebuilds with
+// doubled caps (amortized ≤ 2× one full sweep).
+func (c *Computer) Curve(tau float64) *lattice.Curve {
+	return lattice.NewCurve(func(kCap int) (*lattice.Engine, error) {
+		return c.stationaryEngine(kCap, tau)
+	}, false)
+}
 
-func (g *grid) add(r, s int, v float64) {
-	if r > g.rmax {
-		r = g.rmax
-	}
-	if s > g.smax {
-		s = g.smax
-	}
-	if s < -g.k {
-		// Margin below −k cannot occur from a non-negative start within k
-		// steps; guard anyway to keep the DP total-mass invariant.
-		s = -g.k
-	}
-	g.p[r*g.width()+(s+g.k)] += v
+// PrefixCurve is Curve with the exact finite-prefix initial law: the reach
+// ρ(x) of an m-symbol i.i.d. prefix (walk.ReachLaw), converging to the
+// X∞ curve as m → ∞ and dominated by it for every m.
+func (c *Computer) PrefixCurve(m int, tau float64) *lattice.Curve {
+	return lattice.NewCurve(func(kCap int) (*lattice.Engine, error) {
+		init, err := walk.ReachLaw(c.params.Epsilon, m, kCap+1)
+		if err != nil {
+			return nil, err
+		}
+		return c.exactEngine(kCap, init, tau)
+	}, false)
+}
+
+// UpperCurve returns the rigorous upper-bound curve as an incrementally
+// extensible handle: the saturating chain of ViolationCurveUpper, whose
+// geometry (±cap) does not depend on the horizon, so extending k → 2k
+// continues the cached sweep — every lattice step is taken exactly once no
+// matter how far the horizon grows (the doubling search of
+// core.ConfirmationDepth relies on this).
+func (c *Computer) UpperCurve(cap int) *lattice.Curve {
+	return lattice.NewCurve(func(int) (*lattice.Engine, error) {
+		sr, err := walk.NewStationaryReach(c.params.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := lattice.NewEngine(
+			lattice.Geometry{RMax: cap, SMin: -cap, SMax: cap},
+			c.stencil(true),
+			lattice.Options{},
+		)
+		if err != nil {
+			return nil, err
+		}
+		for r, mass := range sr.Truncated(cap) {
+			eng.Add(r, r, mass)
+		}
+		return eng, nil
+	}, true)
 }
 
 // ViolationProbability returns Pr[µ_x(y) ≥ 0] for |y| = k under the
@@ -75,16 +133,20 @@ func (c *Computer) ViolationProbability(k int) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
 	}
-	probs, err := c.ViolationCurve(k)
+	// Point query: sweep without the per-horizon readout of ViolationCurve.
+	eng, err := c.stationaryEngine(k, 0)
 	if err != nil {
 		return 0, err
 	}
-	return probs[k-1], nil
+	for t := 0; t < k; t++ {
+		eng.Step()
+	}
+	return eng.TailMass(), nil
 }
 
 // ViolationCurve returns Pr[µ_x(y) ≥ 0] for every horizon |y| = 1..k (one
-// DP sweep; horizon t read off after t steps), under the |x| → ∞ initial
-// law. The result has length k with index t−1 holding horizon t.
+// sweep; horizon t read off after t steps), under the |x| → ∞ initial law.
+// The result has length k with index t−1 holding horizon t.
 //
 // Note the per-horizon caps differ in principle; capping at the largest
 // horizon k is exact for every t ≤ k (the cap argument only improves as the
@@ -93,16 +155,56 @@ func (c *Computer) ViolationCurve(k int) ([]float64, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
 	}
-	sr, err := walk.NewStationaryReach(c.params.Epsilon)
-	if err != nil {
+	cv := c.Curve(0)
+	if err := cv.Extend(k); err != nil {
 		return nil, err
 	}
-	g := newGrid(k)
-	init := sr.Truncated(g.rmax)
-	for r, mass := range init {
-		g.add(r, r, mass)
+	return cv.Values(), nil
+}
+
+// ViolationBracket returns a rigorous bracket [lower, upper] containing
+// the exact violation probability at horizon k, swept with τ-pruning and
+// without the per-horizon readout of the curve variants (the point query).
+// τ = 0 collapses the bracket to the exact value.
+func (c *Computer) ViolationBracket(k int, tau float64) (lower, upper float64, err error) {
+	if k < 1 {
+		return 0, 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
 	}
-	return c.sweep(g, k)
+	eng, err := c.stationaryEngine(k, tau)
+	if err != nil {
+		return 0, 0, err
+	}
+	for t := 0; t < k; t++ {
+		eng.Step()
+	}
+	lower = eng.TailMass()
+	upper = lower + eng.Dropped()
+	if upper > 1 {
+		upper = 1
+	}
+	return lower, upper, nil
+}
+
+// ViolationCurveBracket is ViolationCurve with τ-pruning: it returns, for
+// every horizon 1..k, a rigorous bracket [lower[t−1], upper[t−1]] that
+// contains the exact value. With τ = 0 the two curves coincide (and equal
+// ViolationCurve); with τ > 0 the sweep retires negligible band-edge mass
+// into a ledger, trading a certified bracket width of at most the total
+// pruned mass for a much smaller live window.
+func (c *Computer) ViolationCurveBracket(k int, tau float64) (lower, upper []float64, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
+	}
+	cv := c.Curve(tau)
+	if err := cv.Extend(k); err != nil {
+		return nil, nil, err
+	}
+	lower = cv.Values()
+	upper = make([]float64, k)
+	for t := 1; t <= k; t++ {
+		upper[t-1] = cv.Upper(t)
+	}
+	return lower, upper, nil
 }
 
 // ViolationCurveFinitePrefix is ViolationCurve with the exact finite-prefix
@@ -113,98 +215,19 @@ func (c *Computer) ViolationCurveFinitePrefix(m, k int) ([]float64, error) {
 	if k < 1 || m < 0 {
 		return nil, fmt.Errorf("settlement: invalid m=%d k=%d", m, k)
 	}
-	ph, pH, pA := c.params.Probabilities()
-	q := ph + pH
-	rmax := k + 1
-	cur := make([]float64, rmax+1)
-	cur[0] = 1
-	next := make([]float64, rmax+1)
-	for step := 0; step < m; step++ {
-		for i := range next {
-			next[i] = 0
-		}
-		for r, mass := range cur {
-			if mass == 0 {
-				continue
-			}
-			up := min(r+1, rmax)
-			next[up] += mass * pA
-			if r == 0 {
-				next[0] += mass * q
-			} else {
-				next[r-1] += mass * q
-			}
-		}
-		cur, next = next, cur
+	cv := c.PrefixCurve(m, 0)
+	if err := cv.Extend(k); err != nil {
+		return nil, err
 	}
-	g := newGrid(k)
-	for r, mass := range cur {
-		g.add(r, r, mass)
-	}
-	return c.sweep(g, k)
-}
-
-// sweep advances the joint chain k steps, recording Pr[s ≥ 0] after each.
-func (c *Computer) sweep(g *grid, k int) ([]float64, error) {
-	ph, pH, pA := c.params.Probabilities()
-	out := make([]float64, k)
-	next := newGrid(k)
-	for t := 1; t <= k; t++ {
-		for i := range next.p {
-			next.p[i] = 0
-		}
-		for r := 0; r <= g.rmax; r++ {
-			base := r * g.width()
-			for s := -g.k; s <= g.smax; s++ {
-				mass := g.p[base+(s+g.k)]
-				if mass == 0 {
-					continue
-				}
-				// A: r+1, s+1.
-				if pA > 0 {
-					next.add(r+1, s+1, mass*pA)
-				}
-				// Honest symbols: r' = max(r−1, 0).
-				rDown := r - 1
-				if rDown < 0 {
-					rDown = 0
-				}
-				if ph > 0 {
-					// h: s' = 0 iff s == 0 && r > 0, else s−1.
-					if s == 0 && r > 0 {
-						next.add(rDown, 0, mass*ph)
-					} else {
-						next.add(rDown, s-1, mass*ph)
-					}
-				}
-				if pH > 0 {
-					// H: s' = 0 iff s == 0, else s−1.
-					if s == 0 {
-						next.add(rDown, 0, mass*pH)
-					} else {
-						next.add(rDown, s-1, mass*pH)
-					}
-				}
-			}
-		}
-		g, next = next, g
-		total := 0.0
-		for r := 0; r <= g.rmax; r++ {
-			base := r * g.width()
-			for s := 0; s <= g.smax; s++ {
-				total += g.p[base+(s+g.k)]
-			}
-		}
-		out[t-1] = total
-	}
-	return out, nil
+	return cv.Values(), nil
 }
 
 // ViolationProbabilityNaive computes the same quantity as
 // ViolationProbability on the paper's uncapped grid r ∈ [0, 2k],
-// s ∈ [−2k, 2k] (Section 6.6). It exists to cross-validate the capped DP
-// and as the ablation baseline for BenchmarkDPNaive. The initial reach tail
-// beyond 2k is pooled at 2k, exact for the same saturation reason.
+// s ∈ [−2k, 2k] (Section 6.6), scanned in full every step (lattice Full
+// mode). It exists to cross-validate the capped banded sweep and as the
+// ablation baseline for BenchmarkDPNaive. The initial reach tail beyond 2k
+// is pooled at 2k, exact for the same saturation reason.
 func (c *Computer) ViolationProbabilityNaive(k int) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
@@ -213,58 +236,19 @@ func (c *Computer) ViolationProbabilityNaive(k int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ph, pH, pA := c.params.Probabilities()
-	rmax, smin, smax := 2*k, -2*k, 2*k
-	width := smax - smin + 1
-	idx := func(r, s int) int { return r*width + (s - smin) }
-	cur := make([]float64, (rmax+1)*width)
-	for r, mass := range sr.Truncated(rmax) {
-		cur[idx(r, r)] = mass
+	eng, err := lattice.NewEngine(
+		lattice.Geometry{RMax: 2 * k, SMin: -2 * k, SMax: 2 * k},
+		c.stencil(false),
+		lattice.Options{Full: true},
+	)
+	if err != nil {
+		return 0, err
 	}
-	next := make([]float64, len(cur))
-	clampAdd := func(dst []float64, r, s int, v float64) {
-		if r > rmax {
-			r = rmax
-		}
-		if s > smax {
-			s = smax
-		}
-		if s < smin {
-			s = smin
-		}
-		dst[idx(r, s)] += v
+	for r, mass := range sr.Truncated(2 * k) {
+		eng.Add(r, r, mass)
 	}
-	for t := 1; t <= k; t++ {
-		for i := range next {
-			next[i] = 0
-		}
-		for r := 0; r <= rmax; r++ {
-			for s := smin; s <= smax; s++ {
-				mass := cur[idx(r, s)]
-				if mass == 0 {
-					continue
-				}
-				clampAdd(next, r+1, s+1, mass*pA)
-				rDown := max(r-1, 0)
-				if s == 0 && r > 0 {
-					clampAdd(next, rDown, 0, mass*ph)
-				} else {
-					clampAdd(next, rDown, s-1, mass*ph)
-				}
-				if s == 0 {
-					clampAdd(next, rDown, 0, mass*pH)
-				} else {
-					clampAdd(next, rDown, s-1, mass*pH)
-				}
-			}
-		}
-		cur, next = next, cur
+	for t := 0; t < k; t++ {
+		eng.Step()
 	}
-	total := 0.0
-	for r := 0; r <= rmax; r++ {
-		for s := 0; s <= smax; s++ {
-			total += cur[idx(r, s)]
-		}
-	}
-	return total, nil
+	return eng.TailMass(), nil
 }

@@ -1,0 +1,213 @@
+package settlement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+// randomPoints draws consistency-feasible (α, ph) parameter points: α < 1/2
+// (so ph + pH > pA holds) with the honest mass split uniformly between
+// uniquely and multiply honest.
+func randomPoints(n int, seed int64) []charstring.Params {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]charstring.Params, 0, n)
+	for len(pts) < n {
+		alpha := 0.02 + 0.46*rng.Float64()
+		frac := 0.02 + 0.96*rng.Float64()
+		p, err := charstring.ParamsFromAlpha(alpha, frac*(1-alpha))
+		if err != nil {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestPropertyCappedMatchesNaive: the banded capped sweep agrees with the
+// paper-sized full-grid sweep to 1e-12 relative at random parameter points.
+func TestPropertyCappedMatchesNaive(t *testing.T) {
+	const k = 48
+	for _, p := range randomPoints(6, 101) {
+		c := New(p)
+		capped, err := c.ViolationProbability(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := c.ViolationProbabilityNaive(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(capped-naive) > 1e-12*math.Max(capped, naive)+1e-300 {
+			t.Errorf("ǫ=%.3f ph=%.3f: capped %.17g != naive %.17g", p.Epsilon, p.Ph, capped, naive)
+		}
+	}
+}
+
+// TestPropertyUpperDominates: the saturating upper-bound curve dominates
+// the exact curve pointwise at random parameter points.
+func TestPropertyUpperDominates(t *testing.T) {
+	const k, cap = 60, 72
+	for _, p := range randomPoints(6, 202) {
+		c := New(p)
+		exact, err := c.ViolationCurve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper, err := c.ViolationCurveUpper(k, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			if upper[i]+1e-13 < exact[i] {
+				t.Errorf("ǫ=%.3f ph=%.3f k=%d: upper %.6e below exact %.6e", p.Epsilon, p.Ph, i+1, upper[i], exact[i])
+				break
+			}
+		}
+	}
+}
+
+// TestPropertyPrunedBracketContainsExact: at random points and a range of
+// thresholds, the certified bracket contains the exact curve pointwise, and
+// its width never exceeds the reported ledger.
+func TestPropertyPrunedBracketContainsExact(t *testing.T) {
+	const k = 60
+	for _, p := range randomPoints(4, 303) {
+		c := New(p)
+		exact, err := c.ViolationCurve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tau := range []float64{1e-25, 1e-12, 1e-6} {
+			lower, upper, err := c.ViolationCurveBracket(k, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range exact {
+				if exact[i] < lower[i]-1e-13 || exact[i] > upper[i]+1e-13 {
+					t.Errorf("ǫ=%.3f ph=%.3f τ=%g k=%d: exact %.17g outside [%.17g, %.17g]",
+						p.Epsilon, p.Ph, tau, i+1, exact[i], lower[i], upper[i])
+					break
+				}
+			}
+			// The point bracket (no per-horizon readout) advances the same
+			// chain and must agree with the curve endpoint bit for bit.
+			lo, hi, err := c.ViolationBracket(k, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != lower[k-1] || hi != upper[k-1] {
+				t.Errorf("ǫ=%.3f ph=%.3f τ=%g: point bracket [%.17g, %.17g] != curve endpoint [%.17g, %.17g]",
+					p.Epsilon, p.Ph, tau, lo, hi, lower[k-1], upper[k-1])
+			}
+		}
+	}
+}
+
+// TestPropertyFinitePrefixMonotone: the finite-prefix curve is pointwise
+// nondecreasing in the prefix length m and dominated by the |x| → ∞ curve.
+func TestPropertyFinitePrefixMonotone(t *testing.T) {
+	const k = 40
+	for _, p := range randomPoints(4, 404) {
+		c := New(p)
+		inf, err := c.ViolationCurve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev []float64
+		for _, m := range []int{0, 5, 20, 80, 320} {
+			cur, err := c.ViolationCurveFinitePrefix(m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cur {
+				if cur[i] > inf[i]+1e-13 {
+					t.Errorf("ǫ=%.3f ph=%.3f m=%d k=%d: prefix %.17g above X∞ %.17g",
+						p.Epsilon, p.Ph, m, i+1, cur[i], inf[i])
+					break
+				}
+				if prev != nil && cur[i]+1e-13 < prev[i] {
+					t.Errorf("ǫ=%.3f ph=%.3f m=%d k=%d: prefix curve not monotone in m (%.17g < %.17g)",
+						p.Epsilon, p.Ph, m, i+1, cur[i], prev[i])
+					break
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestPropertyPointMatchesCurve: the point query (no per-horizon readout)
+// and the curve sweep agree bit for bit — they advance the same chain.
+func TestPropertyPointMatchesCurve(t *testing.T) {
+	const k = 50
+	for _, p := range randomPoints(4, 505) {
+		c := New(p)
+		pt, err := c.ViolationProbability(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := c.ViolationCurve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt != curve[k-1] {
+			t.Errorf("ǫ=%.3f ph=%.3f: point %.17g != curve %.17g", p.Epsilon, p.Ph, pt, curve[k-1])
+		}
+	}
+}
+
+// TestTableKeyTolerance: integer basis-point keys make lookups robust
+// against computed parameters that differ from the literal grid values in
+// the last ulps — the failure mode of the old float64-keyed map.
+func TestTableKeyTolerance(t *testing.T) {
+	tbl, err := ComputeTable1([]float64{0.30}, []float64{0.25}, []int{40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α recovered through runtime float64 arithmetic that perturbs the last
+	// ulp (0.1 × 3 = 0.30000000000000004): the old float64-keyed map missed
+	// this lookup silently.
+	tenth, three := 0.1, 3.0
+	alpha := tenth * three
+	frac := 1 - 0.75
+	if alpha == 0.30 {
+		t.Fatal("expected 0.1*3 to differ from 0.30 in float64")
+	}
+	v, ok := tbl.Lookup(frac, 40, alpha)
+	if !ok {
+		t.Fatalf("tolerant lookup missed cell (frac=%.17g, α=%.17g)", frac, alpha)
+	}
+	want, _ := tbl.Lookup(0.25, 40, 0.30)
+	if v != want {
+		t.Fatalf("lookup returned %v, want %v", v, want)
+	}
+}
+
+// TestComputeTable1Pruned: the pruned table carries brackets that contain
+// the exact cells and collapse at τ = 0.
+func TestComputeTable1Pruned(t *testing.T) {
+	alphas, fracs, ks := []float64{0.30, 0.49}, []float64{0.5}, []int{30, 60}
+	exact, err := ComputeTable1(alphas, fracs, ks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Upper != nil {
+		t.Fatal("exact table carries an Upper map")
+	}
+	pruned, err := ComputeTable1Pruned(alphas, fracs, ks, 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Upper == nil {
+		t.Fatal("pruned table missing Upper map")
+	}
+	for key, want := range exact.Cells {
+		lo, hi := pruned.Cells[key], pruned.Upper[key]
+		if want < lo-1e-13 || want > hi+1e-13 {
+			t.Errorf("cell %+v: exact %.17g outside bracket [%.17g, %.17g]", key, want, lo, hi)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package settlement
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -21,28 +22,67 @@ var Table1HonestFractions = []float64{1.0, 0.9, 0.8, 0.5, 0.25, 0.01}
 // Table1Horizons are the settlement horizons k of Table 1's rows.
 var Table1Horizons = []int{100, 200, 300, 400, 500}
 
-// Cell identifies one entry of Table 1.
-type Cell struct {
-	HonestFraction float64 // Pr[h]/(1−α)
-	K              int
-	Alpha          float64
+// Key identifies one entry of Table 1 in exact integer units: basis points
+// (1/100 of a percent) for the honest fraction and α, plus the horizon k.
+// Integer keys make map lookups robust against float64 parameters that
+// differ in the last ulp — e.g. a fraction recovered as alpha-dependent
+// arithmetic rather than written as a literal — which silently missed under
+// the old float-keyed map.
+type Key struct {
+	FracBP  int // round(10⁴ · Pr[h]/(1−α))
+	AlphaBP int // round(10⁴ · α)
+	K       int
 }
 
+// MakeKey quantizes a (fraction, horizon, α) cell coordinate to its Key.
+func MakeKey(frac float64, k int, alpha float64) Key {
+	return Key{FracBP: toBP(frac), AlphaBP: toBP(alpha), K: k}
+}
+
+func toBP(v float64) int { return int(math.Round(v * 1e4)) }
+
+// HonestFraction returns the cell's Pr[h]/(1−α) coordinate.
+func (key Key) HonestFraction() float64 { return float64(key.FracBP) / 1e4 }
+
+// Alpha returns the cell's α coordinate.
+func (key Key) Alpha() float64 { return float64(key.AlphaBP) / 1e4 }
+
 // Table holds computed k-settlement violation probabilities, keyed by cell.
+// When computed with pruning (τ > 0), Cells holds the certified lower ends
+// and Upper the certified upper ends of each bracket; in exact mode
+// (τ = 0) Upper is nil and Cells is exact.
 type Table struct {
-	Cells map[Cell]float64
+	Cells map[Key]float64
+	Upper map[Key]float64 // non-nil iff computed with τ > 0
+	Tau   float64
+}
+
+// Lookup returns the cell value for parameters within half a basis point of
+// a computed cell — the tolerant accessor for computed (not literal)
+// coordinates.
+func (t *Table) Lookup(frac float64, k int, alpha float64) (float64, bool) {
+	v, ok := t.Cells[MakeKey(frac, k, alpha)]
+	return v, ok
 }
 
 // ComputeTable1 regenerates the paper's Table 1: for each (α, fraction)
-// block it runs one DP sweep to the largest horizon and reads off every
-// smaller horizon. Alphas, fractions and horizons may be overridden; nil
-// slices select the paper's values.
+// block it runs one exact DP sweep to the largest horizon and reads off
+// every smaller horizon. Alphas, fractions and horizons may be overridden;
+// nil slices select the paper's values.
 //
-// The (α, fraction) blocks are independent DP chains, so they are swept on
-// a worker pool (workers ≤ 0 selects all CPUs, 1 is the serial path). The
-// per-cell values are exact either way — parallelism only reorders which
-// block finishes first, never what a block computes.
+// The (α, fraction) blocks are independent lattice chains, so they are
+// swept on a worker pool (workers ≤ 0 selects all CPUs, 1 is the serial
+// path). The per-cell values are exact either way — parallelism only
+// reorders which block finishes first, never what a block computes.
 func ComputeTable1(alphas, fractions []float64, horizons []int, workers int) (*Table, error) {
+	return ComputeTable1Pruned(alphas, fractions, horizons, workers, 0)
+}
+
+// ComputeTable1Pruned is ComputeTable1 with a pruning threshold τ threaded
+// to every block's sweep. With τ > 0 each cell carries a rigorous bracket:
+// Cells holds the lower ends, Upper the upper ends (lower + pruned mass at
+// that horizon). τ = 0 is the exact mode.
+func ComputeTable1Pruned(alphas, fractions []float64, horizons []int, workers int, tau float64) (*Table, error) {
 	if alphas == nil {
 		alphas = Table1Alphas
 	}
@@ -52,6 +92,9 @@ func ComputeTable1(alphas, fractions []float64, horizons []int, workers int) (*T
 	if horizons == nil {
 		horizons = Table1Horizons
 	}
+	if tau < 0 {
+		return nil, fmt.Errorf("settlement: negative pruning threshold %v", tau)
+	}
 	kmax := 0
 	for _, k := range horizons {
 		if k < 1 {
@@ -60,8 +103,8 @@ func ComputeTable1(alphas, fractions []float64, horizons []int, workers int) (*T
 		kmax = max(kmax, k)
 	}
 	type block struct {
-		frac, alpha float64
-		curve       []float64
+		frac, alpha  float64
+		lower, upper []float64
 	}
 	blocks := make([]block, 0, len(alphas)*len(fractions))
 	for _, frac := range fractions {
@@ -69,24 +112,31 @@ func ComputeTable1(alphas, fractions []float64, horizons []int, workers int) (*T
 			blocks = append(blocks, block{frac: frac, alpha: alpha})
 		}
 	}
-	// Each worker writes only blocks[i].curve, so the sweep is race-free;
-	// the map is assembled serially afterwards.
+	// Each worker writes only blocks[i], so the sweep is race-free; the
+	// map is assembled serially afterwards.
 	err := runner.ForEach(workers, len(blocks), func(i int) error {
 		b := &blocks[i]
 		p, err := charstring.ParamsFromAlpha(b.alpha, b.frac*(1-b.alpha))
 		if err != nil {
 			return fmt.Errorf("settlement: table cell α=%v frac=%v: %w", b.alpha, b.frac, err)
 		}
-		b.curve, err = New(p).ViolationCurve(kmax)
+		b.lower, b.upper, err = New(p).ViolationCurveBracket(kmax, tau)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Cells: make(map[Cell]float64, len(blocks)*len(horizons))}
+	t := &Table{Cells: make(map[Key]float64, len(blocks)*len(horizons)), Tau: tau}
+	if tau > 0 {
+		t.Upper = make(map[Key]float64, len(blocks)*len(horizons))
+	}
 	for _, b := range blocks {
 		for _, k := range horizons {
-			t.Cells[Cell{HonestFraction: b.frac, K: k, Alpha: b.alpha}] = b.curve[k-1]
+			key := MakeKey(b.frac, k, b.alpha)
+			t.Cells[key] = b.lower[k-1]
+			if t.Upper != nil {
+				t.Upper[key] = b.upper[k-1]
+			}
 		}
 	}
 	return t, nil
@@ -99,21 +149,21 @@ func (t *Table) Format() string {
 	var fracs []float64
 	var alphas []float64
 	var ks []int
-	seenF := map[float64]bool{}
-	seenA := map[float64]bool{}
+	seenF := map[int]bool{}
+	seenA := map[int]bool{}
 	seenK := map[int]bool{}
-	for c := range t.Cells {
-		if !seenF[c.HonestFraction] {
-			seenF[c.HonestFraction] = true
-			fracs = append(fracs, c.HonestFraction)
+	for key := range t.Cells {
+		if !seenF[key.FracBP] {
+			seenF[key.FracBP] = true
+			fracs = append(fracs, key.HonestFraction())
 		}
-		if !seenA[c.Alpha] {
-			seenA[c.Alpha] = true
-			alphas = append(alphas, c.Alpha)
+		if !seenA[key.AlphaBP] {
+			seenA[key.AlphaBP] = true
+			alphas = append(alphas, key.Alpha())
 		}
-		if !seenK[c.K] {
-			seenK[c.K] = true
-			ks = append(ks, c.K)
+		if !seenK[key.K] {
+			seenK[key.K] = true
+			ks = append(ks, key.K)
 		}
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
@@ -130,7 +180,7 @@ func (t *Table) Format() string {
 		for _, k := range ks {
 			fmt.Fprintf(&b, "%-12.2f %-5d", f, k)
 			for _, a := range alphas {
-				v, ok := t.Cells[Cell{HonestFraction: f, K: k, Alpha: a}]
+				v, ok := t.Lookup(f, k, a)
 				if !ok {
 					fmt.Fprintf(&b, " %12s", "-")
 					continue

@@ -27,9 +27,9 @@ func TestComputeTable1WorkerInvariance(t *testing.T) {
 		if len(got.Cells) != len(ref.Cells) {
 			t.Fatalf("workers=%d: %d cells, want %d", workers, len(got.Cells), len(ref.Cells))
 		}
-		for c, v := range ref.Cells {
-			if gv, ok := got.Cells[c]; !ok || gv != v {
-				t.Errorf("workers=%d: cell %+v = %v, want %v", workers, c, gv, v)
+		for key, v := range ref.Cells {
+			if gv, ok := got.Cells[key]; !ok || gv != v {
+				t.Errorf("workers=%d: cell %+v = %v, want %v", workers, key, gv, v)
 			}
 		}
 		if got.Format() != ref.Format() {

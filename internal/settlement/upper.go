@@ -3,92 +3,36 @@ package settlement
 import (
 	"fmt"
 	"math"
-
-	"multihonest/internal/walk"
 )
 
 // ViolationCurveUpper returns a rigorous upper bound on the violation
-// probability for every horizon 1..k, computed in O(k·cap²) time instead
-// of the exact DP's O(k³). Both chain coordinates saturate at ±cap in the
-// conservative direction:
+// probability for every horizon 1..k, computed on a horizon-independent
+// O(cap²) grid instead of the exact chain's O(k²). Both chain coordinates
+// saturate at ±cap in the conservative direction:
 //
-//   - reach saturates at cap from above (a saturated reach only makes the
-//     r > 0 branch — the favorable one for the adversary — more likely),
+//   - reach saturates at cap from above and *stays there on honest steps*
+//     (lattice.Stencil.StickyReach: a saturated reach only makes the r > 0
+//     branch — the favorable one for the adversary — more likely),
 //   - margin saturates at ±cap (the saturated value always dominates the
 //     true one, and the final event s ≥ 0 is monotone in s).
 //
 // The induced over-count is bounded by the probability the true chain ever
 // exceeds the cap, which decays geometrically as β^cap; CapForTarget picks
 // a cap that keeps it negligible relative to a target probability. Use the
-// exact ViolationCurve for reproducing Table 1; use this for confirmation-
+// exact ViolationCurve for reproducing Table 1; use this — or the
+// incrementally extensible UpperCurve handle it wraps — for confirmation-
 // depth planning at large horizons.
 func (c *Computer) ViolationCurveUpper(k, cap int) ([]float64, error) {
 	if k < 1 || cap < 2 {
 		return nil, fmt.Errorf("settlement: invalid k=%d cap=%d", k, cap)
 	}
-	sr, err := walk.NewStationaryReach(c.params.Epsilon)
-	if err != nil {
+	cv := c.UpperCurve(cap)
+	if err := cv.Extend(k); err != nil {
 		return nil, err
 	}
-	ph, pH, pA := c.params.Probabilities()
-	width := 2*cap + 1 // s ∈ [−cap, cap]
-	idx := func(r, s int) int { return r*width + (s + cap) }
-	cur := make([]float64, (cap+1)*width)
-	next := make([]float64, len(cur))
-	for r, mass := range sr.Truncated(cap) {
-		cur[idx(r, min(r, cap))] += mass
-	}
 	out := make([]float64, k)
-	satAdd := func(dst []float64, r, s int, v float64) {
-		if r > cap {
-			r = cap
-		}
-		if s > cap {
-			s = cap
-		}
-		if s < -cap {
-			s = -cap
-		}
-		dst[idx(r, s)] += v
-	}
 	for t := 1; t <= k; t++ {
-		for i := range next {
-			next[i] = 0
-		}
-		for r := 0; r <= cap; r++ {
-			for s := -cap; s <= cap; s++ {
-				mass := cur[idx(r, s)]
-				if mass == 0 {
-					continue
-				}
-				satAdd(next, r+1, s+1, mass*pA)
-				rDown := r - 1
-				if rDown < 0 {
-					rDown = 0
-				}
-				if r == cap {
-					rDown = cap // saturated reach stays "large": conservative
-				}
-				if s == 0 && r > 0 {
-					satAdd(next, rDown, 0, mass*ph)
-				} else {
-					satAdd(next, rDown, s-1, mass*ph)
-				}
-				if s == 0 {
-					satAdd(next, rDown, 0, mass*pH)
-				} else {
-					satAdd(next, rDown, s-1, mass*pH)
-				}
-			}
-		}
-		cur, next = next, cur
-		total := 0.0
-		for r := 0; r <= cap; r++ {
-			for s := 0; s <= cap; s++ {
-				total += cur[idx(r, s)]
-			}
-		}
-		out[t-1] = math.Min(total, 1)
+		out[t-1] = math.Min(cv.Lower(t), 1)
 	}
 	return out, nil
 }

@@ -111,6 +111,49 @@ func (x StationaryReach) Truncated(n int) []float64 {
 	return v
 }
 
+// ReachLaw returns the exact law of the reflected-walk height X_m after m
+// i.i.d. steps from X_0 = 0, truncated to [0, n] with all mass ≥ n pooled in
+// the final entry (the same exactness-preserving cap as Truncated). The
+// result has length n+1. It converges to StationaryReach.Truncated(n) as
+// m → ∞ and is stochastically dominated by it for every m.
+//
+// The evolution is banded: after t steps the walk cannot exceed min(t, n),
+// so only the live prefix of the vector is scanned and zeroed.
+func ReachLaw(epsilon float64, m, n int) ([]float64, error) {
+	if _, err := NewStationaryReach(epsilon); err != nil {
+		return nil, err
+	}
+	if m < 0 || n < 1 {
+		return nil, fmt.Errorf("walk: invalid reach-law m=%d n=%d", m, n)
+	}
+	pUp := (1 - epsilon) / 2
+	pDown := (1 + epsilon) / 2
+	cur := make([]float64, n+1)
+	next := make([]float64, n+1)
+	cur[0] = 1
+	hi := 0 // largest index with nonzero mass
+	for t := 0; t < m; t++ {
+		nextHi := min(hi+1, n)
+		for i := 0; i <= nextHi; i++ {
+			next[i] = 0
+		}
+		for r := 0; r <= hi; r++ {
+			mass := cur[r]
+			if mass == 0 {
+				continue
+			}
+			next[min(r+1, n)] += mass * pUp
+			next[max(r-1, 0)] += mass * pDown
+		}
+		for nextHi > 0 && next[nextHi] == 0 {
+			nextHi--
+		}
+		hi = nextHi
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
 // RuinProbability returns the gambler's-ruin quantity p/q: the probability
 // that an ǫ-downward-biased walk started at 0 ever reaches +1. It equals
 // A(1) for the ascent generating function of Section 5.

@@ -109,3 +109,73 @@ func TestGamblersRuin(t *testing.T) {
 		t.Fatalf("descent expectation = %v", got)
 	}
 }
+
+// TestReachLaw: the banded finite-prefix reach law is a probability vector,
+// dominated by X∞, monotone in m, and convergent to Truncated as m grows.
+func TestReachLaw(t *testing.T) {
+	// n = 48 keeps the truncation error β^n ≈ 1e-13 below the convergence
+	// tolerance of the m → ∞ comparison.
+	const eps, n = 0.3, 48
+	x, err := NewStationaryReach(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReachLaw(0, 5, n); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := ReachLaw(eps, -1, n); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	zero, err := ReachLaw(eps, 0, n)
+	if err != nil || zero[0] != 1 {
+		t.Fatalf("m=0 law = %v (err %v): all mass must sit at 0", zero[:2], err)
+	}
+	var prevTail []float64
+	for _, m := range []int{1, 4, 16, 64, 256, 1024} {
+		law, err := ReachLaw(eps, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, v := range law {
+			total += v
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("m=%d: law sums to %.17g", m, total)
+		}
+		// Tail comparison: Pr[X_m ≥ j] nondecreasing in m and ≤ β^j.
+		tail := make([]float64, n+1)
+		acc := 0.0
+		for j := n; j >= 0; j-- {
+			acc += law[j]
+			tail[j] = acc
+		}
+		for j := 0; j <= n; j++ {
+			if tail[j] > x.TailAtLeast(j)+1e-12 {
+				t.Fatalf("m=%d j=%d: tail %.6e above X∞ %.6e", m, j, tail[j], x.TailAtLeast(j))
+			}
+			if prevTail != nil && tail[j]+1e-12 < prevTail[j] {
+				t.Fatalf("m=%d j=%d: tail %.6e not monotone in m (prev %.6e)", m, j, tail[j], prevTail[j])
+			}
+		}
+		prevTail = tail
+	}
+	// At m = 1024 the law is within truncation error of X∞.
+	limit := x.Truncated(n)
+	for j := range limit {
+		if math.Abs(prevTail[0]-1) > 1e-12 {
+			t.Fatal("tail at 0 must be 1")
+		}
+		if math.Abs(ReachLawCell(prevTail, j)-limit[j]) > 1e-9 {
+			t.Fatalf("m=1024 j=%d: %.12g != X∞ %.12g", j, ReachLawCell(prevTail, j), limit[j])
+		}
+	}
+}
+
+// ReachLawCell recovers the pmf entry j from a tail vector.
+func ReachLawCell(tail []float64, j int) float64 {
+	if j == len(tail)-1 {
+		return tail[j]
+	}
+	return tail[j] - tail[j+1]
+}
