@@ -20,6 +20,7 @@ import (
 	"multihonest/internal/gf"
 	"multihonest/internal/leader"
 	"multihonest/internal/mc"
+	"multihonest/internal/runner"
 	"multihonest/internal/settlement"
 )
 
@@ -86,6 +87,97 @@ func BenchmarkMCEngine(b *testing.B) {
 		})
 	}
 }
+
+// mcPairExperiments are the shared workloads of the BenchmarkMCStream /
+// BenchmarkMCBatch benchstat pair: the same event, sample count and seed
+// on the fused streaming engine (runner.RunStream, production path) and on
+// the slice-at-a-time oracle engine (runner.Run, the pre-streaming
+// committed baseline). Both run workers = 1 so the pair isolates the
+// per-sample cost of the core — parallel scaling is BenchmarkMCEngine's
+// job. The two paths draw different (equally valid) streams, so the
+// estimates agree statistically, not bitwise; the equivalence tests in
+// internal/mc pin the verdicts themselves to agree on every string.
+func benchMCPair(b *testing.B, stream bool) {
+	p := charstring.MustParams(0.3, 0.3)
+	sp, err := charstring.NewSemiSyncParams(0.8, 0.12, 0.03, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func(b *testing.B) mc.Estimate
+	}{
+		{"E1-NoUHCatalan", func(b *testing.B) mc.Estimate {
+			const s, k, tail, n = 40, 160, 150, 4000
+			if stream {
+				return mc.NoUniquelyHonestCatalan(p, s, k, tail, n, 7, 1)
+			}
+			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+				mc.BernoulliSampler(p, s-1+k+tail), mc.NoUniquelyHonestCatalanVerdict(s, k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return e
+		}},
+		{"E3-Settlement", func(b *testing.B) mc.Estimate {
+			const m, k, n = 600, 100, 4000
+			if stream {
+				return mc.SettlementViolation(p, m, k, n, 7, 1)
+			}
+			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+				mc.BernoulliSampler(p, m+k), mc.SettlementViolationVerdict(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return e
+		}},
+		{"E5-CPViolation", func(b *testing.B) mc.Estimate {
+			const T, k, n = 400, 40, 2000
+			if stream {
+				return mc.CPViolationPossible(p, T, k, n, 7, false, 1)
+			}
+			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+				mc.BernoulliSampler(p, T), mc.CPViolationVerdict(k, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return e
+		}},
+		{"E4-DeltaUnsettled", func(b *testing.B) mc.Estimate {
+			const s, k, tail, delta, n = 8, 60, 150, 3, 1000
+			if stream {
+				e, err := mc.DeltaUnsettled(sp, delta, s, k, tail, n, 7, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return e
+			}
+			T := s + int(float64(2*k+tail)/sp.ActiveRate()) + delta
+			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+				mc.ConditionedSemiSyncSampler(sp, s, T), mc.DeltaUnsettledVerdict(s, k, delta))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return e
+		}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var est mc.Estimate
+			for i := 0; i < b.N; i++ {
+				est = bc.run(b)
+			}
+			b.ReportMetric(float64(est.N)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkMCStream: the fused streaming engine (production path).
+func BenchmarkMCStream(b *testing.B) { benchMCPair(b, true) }
+
+// BenchmarkMCBatch: the slice-at-a-time oracle engine (committed baseline).
+func BenchmarkMCBatch(b *testing.B) { benchMCPair(b, false) }
 
 // BenchmarkDPCapped/BenchmarkDPNaive/BenchmarkDPPruned: ablations of the
 // settlement DP engine (DESIGN.md §6). Capped runs the banded lattice sweep

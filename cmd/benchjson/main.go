@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON summary, optionally computing speedups against a
+// committed baseline. It backs the CI bench smoke step, which publishes
+// BENCH_pr3.json per commit to seed the performance trajectory.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem . | benchjson -baseline bench/baseline_pr2.json -o BENCH_pr3.json
+//
+// The baseline file maps benchmark name → ns/op of the committed reference
+// (see bench/baseline_pr2.json: the slice-at-a-time oracle engine measured
+// before the streaming core landed). Speedup is baseline ns/op divided by
+// current ns/op for every benchmark present in both.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name            string   `json:"name"`
+	Iterations      int      `json:"iterations"`
+	NsPerOp         float64  `json:"ns_per_op"`
+	BytesPerOp      *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp     *float64 `json:"allocs_per_op,omitempty"`
+	SamplesPerSec   *float64 `json:"samples_per_sec,omitempty"`
+	BaselineNsPerOp *float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         *float64 `json:"speedup,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	CPU        string   `json:"cpu,omitempty"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkMCStream/E1-NoUHCatalan-8   10   29290539 ns/op   136564 samples/s   3528 B/op   19 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metric matches trailing "<value> <unit>" pairs after ns/op.
+var metric = regexp.MustCompile(`([\d.e+-]+) (\S+)`)
+
+func parse(lines []string) Summary {
+	var s Summary
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "goos:"):
+			s.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, mm := range metric.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "B/op":
+				r.BytesPerOp = &v
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			case "samples/s":
+				r.SamplesPerSec = &v
+			}
+		}
+		s.Benchmarks = append(s.Benchmarks, r)
+	}
+	return s
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "", "JSON file mapping benchmark name → baseline ns/op")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	baseline := map[string]float64{}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			log.Fatalf("parsing baseline %s: %v", *baselinePath, err)
+		}
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := parse(lines)
+	if len(s.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+	for i := range s.Benchmarks {
+		if base, ok := baseline[s.Benchmarks[i].Name]; ok && s.Benchmarks[i].NsPerOp > 0 {
+			b := base
+			sp := base / s.Benchmarks[i].NsPerOp
+			s.Benchmarks[i].BaselineNsPerOp = &b
+			s.Benchmarks[i].Speedup = &sp
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(s.Benchmarks), *out)
+	}
+}

@@ -4,18 +4,72 @@
 //	bounds -bound 1 -eps 0.3 -qh 0.3     Bound 1 (uniquely honest Catalan slots)
 //	bounds -bound 2 -eps 0.4             Bound 2 (consecutive Catalan pairs, ph = 0)
 //	bounds -bound 3 -f 0.2 -delta 4      Theorem 7 (Δ-synchronous reduction sweep)
+//	bounds -bound 1 -json                machine-readable rows + MC throughput
+//
+// The Monte-Carlo column runs on the streaming fused sample–judge engine;
+// every row reports the realized sampling throughput (samples/sec)
+// alongside the estimate. -json emits one machine-readable document with
+// the same rows and timings, mirroring cmd/settle and cmd/table1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"multihonest/internal/charstring"
 	"multihonest/internal/deltasync"
 	"multihonest/internal/gf"
 	"multihonest/internal/mc"
 )
+
+// jsonRow is one sweep point of the -json document.
+type jsonRow struct {
+	K          int      `json:"k,omitempty"`
+	Delta      *int     `json:"delta,omitempty"`
+	GFTail     *float64 `json:"gf_tail,omitempty"`
+	MaxEpsilon *float64 `json:"max_epsilon,omitempty"`
+	InducedPh  *float64 `json:"induced_ph,omitempty"`
+	InducedPH  *float64 `json:"induced_pH,omitempty"`
+	InducedPA  *float64 `json:"induced_pA,omitempty"`
+
+	P             float64 `json:"p"`
+	Lo            float64 `json:"lo"`
+	Hi            float64 `json:"hi"`
+	Hits          int     `json:"hits"`
+	N             int     `json:"n"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// jsonOutput is the -json document.
+type jsonOutput struct {
+	Bound     int       `json:"bound"`
+	Eps       *float64  `json:"eps,omitempty"`
+	Qh        *float64  `json:"qh,omitempty"`
+	F         *float64  `json:"f,omitempty"`
+	Adv       *float64  `json:"adv,omitempty"`
+	DeltaMax  *int      `json:"delta_max,omitempty"`
+	Rate      *float64  `json:"decay_rate,omitempty"`
+	Kmax      int       `json:"kmax"`
+	NPerPoint int       `json:"n_per_point"`
+	Workers   int       `json:"workers"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Rows      []jsonRow `json:"rows"`
+}
+
+// mcRow times one Monte-Carlo call and fills the estimate fields.
+func mcRow(run func() mc.Estimate) (mc.Estimate, float64) {
+	start := time.Now()
+	est := run()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return est, 0
+	}
+	return est, float64(est.N) / elapsed
+}
 
 func main() {
 	log.SetFlags(0)
@@ -28,7 +82,12 @@ func main() {
 	kmax := flag.Int("kmax", 400, "largest window length")
 	n := flag.Int("n", 20000, "Monte-Carlo samples per point")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker-pool size (0 = all CPUs)")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	flag.Parse()
+
+	text := !*asJSON
+	out := jsonOutput{Bound: *which, Kmax: *kmax, NPerPoint: *n, Workers: *workers}
+	start := time.Now()
 
 	switch *which {
 	case 1:
@@ -37,16 +96,25 @@ func main() {
 			log.Fatal(err)
 		}
 		rate, _ := gf.DecayRateBound1(*eps, *qh)
-		fmt.Printf("Bound 1 at ǫ=%.2f qh=%.2f: asymptotic rate %.5f per slot (Θ(min(ǫ³, ǫ²qh)))\n", *eps, *qh, rate)
-		fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no uniquely honest Catalan slot in window]")
+		out.Eps, out.Qh, out.Rate = eps, qh, &rate
+		if text {
+			fmt.Printf("Bound 1 at ǫ=%.2f qh=%.2f: asymptotic rate %.5f per slot (Θ(min(ǫ³, ǫ²qh)))\n", *eps, *qh, rate)
+			fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no uniquely honest Catalan slot in window]\tsamples/sec")
+		}
 		p := charstring.MustParams(*eps, *qh)
 		for k := *kmax / 8; k <= *kmax; k += *kmax / 8 {
 			tail, err := b.Tail(k)
 			if err != nil {
 				log.Fatal(err)
 			}
-			est := mc.NoUniquelyHonestCatalan(p, 50, k, 200, *n, int64(k), *workers)
-			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
+			est, sps := mcRow(func() mc.Estimate {
+				return mc.NoUniquelyHonestCatalan(p, 50, k, 200, *n, int64(k), *workers)
+			})
+			out.Rows = append(out.Rows, jsonRow{K: k, GFTail: &tail,
+				P: est.P, Lo: est.Lo, Hi: est.Hi, Hits: est.Hits, N: est.N, SamplesPerSec: sps})
+			if text {
+				fmt.Printf("%d\t%.6e\t%v\t%.3g\n", k, tail, est, sps)
+			}
 		}
 	case 2:
 		b, err := gf.NewBound2(*eps, *kmax+1)
@@ -54,15 +122,24 @@ func main() {
 			log.Fatal(err)
 		}
 		rate, _ := gf.DecayRateBound2(*eps)
-		fmt.Printf("Bound 2 at ǫ=%.2f (bivalent, consistent ties): rate %.5f per slot (ǫ³/2·(1+O(ǫ)))\n", *eps, rate)
-		fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no consecutive Catalan pair in window]")
+		out.Eps, out.Rate = eps, &rate
+		if text {
+			fmt.Printf("Bound 2 at ǫ=%.2f (bivalent, consistent ties): rate %.5f per slot (ǫ³/2·(1+O(ǫ)))\n", *eps, rate)
+			fmt.Println("k\tGF tail (≥ true)\tMC estimate of Pr[no consecutive Catalan pair in window]\tsamples/sec")
+		}
 		for k := *kmax / 8; k <= *kmax; k += *kmax / 8 {
 			tail, err := b.Tail(k)
 			if err != nil {
 				log.Fatal(err)
 			}
-			est := mc.NoConsecutiveCatalan(*eps, 50, k, 200, *n, int64(k), *workers)
-			fmt.Printf("%d\t%.6e\t%v\n", k, tail, est)
+			est, sps := mcRow(func() mc.Estimate {
+				return mc.NoConsecutiveCatalan(*eps, 50, k, 200, *n, int64(k), *workers)
+			})
+			out.Rows = append(out.Rows, jsonRow{K: k, GFTail: &tail,
+				P: est.P, Lo: est.Lo, Hi: est.Hi, Hits: est.Hits, N: est.N, SamplesPerSec: sps})
+			if text {
+				fmt.Printf("%d\t%.6e\t%v\t%.3g\n", k, tail, est, sps)
+			}
 		}
 	case 3:
 		active := *f
@@ -70,17 +147,43 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Theorem 7 sweep: f=%.2f, adversarial active fraction=%.2f\n", active, *adv)
-		fmt.Println("Δ\tmax ǫ (Eq.20)\tinduced (h,H,A) per Eq.22\tMC Pr[slot lacks (k,Δ)-certificate], k=kmax/4")
+		out.F, out.Adv, out.DeltaMax = f, adv, delta
+		if text {
+			fmt.Printf("Theorem 7 sweep: f=%.2f, adversarial active fraction=%.2f\n", active, *adv)
+			fmt.Println("Δ\tmax ǫ (Eq.20)\tinduced (h,H,A) per Eq.22\tMC Pr[slot lacks (k,Δ)-certificate], k=kmax/4\tsamples/sec")
+		}
 		for d := 0; d <= *delta; d++ {
 			ph, pH, pA := deltasync.InducedParams(sp, d)
-			est, err := mc.DeltaUnsettled(sp, d, 10, *kmax/4, 200, *n/2, int64(d), *workers)
-			if err != nil {
-				log.Fatal(err)
+			me := deltasync.MaxEpsilon(sp, d)
+			var est mc.Estimate
+			var sps float64
+			var mcErr error
+			est, sps = mcRow(func() mc.Estimate {
+				e, err := mc.DeltaUnsettled(sp, d, 10, *kmax/4, 200, *n/2, int64(d), *workers)
+				mcErr = err
+				return e
+			})
+			if mcErr != nil {
+				log.Fatal(mcErr)
 			}
-			fmt.Printf("%d\t%+.4f\t(%.4f, %.4f, %.4f)\t%v\n", d, deltasync.MaxEpsilon(sp, d), ph, pH, pA, est)
+			dd := d
+			out.Rows = append(out.Rows, jsonRow{Delta: &dd, MaxEpsilon: &me,
+				InducedPh: &ph, InducedPH: &pH, InducedPA: &pA,
+				P: est.P, Lo: est.Lo, Hi: est.Hi, Hits: est.Hits, N: est.N, SamplesPerSec: sps})
+			if text {
+				fmt.Printf("%d\t%+.4f\t(%.4f, %.4f, %.4f)\t%v\t%.3g\n", d, me, ph, pH, pA, est, sps)
+			}
 		}
 	default:
 		log.Fatalf("unknown bound %d", *which)
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

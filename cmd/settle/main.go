@@ -44,15 +44,16 @@ type jsonOutput struct {
 	Regime    regime  `json:"regime"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 
-	P          *float64  `json:"p,omitempty"`           // point violation probability (lower end when τ > 0)
-	PUpper     *float64  `json:"p_upper,omitempty"`     // certified upper end (τ > 0)
-	Bound1     *float64  `json:"bound1_tail,omitempty"` // analytic certificate
-	Depth      *int      `json:"confirmation_depth,omitempty"`
-	Target     *float64  `json:"target,omitempty"`
-	Curve      []float64 `json:"curve,omitempty"`       // lower curve (sweep mode)
-	CurveUpper []float64 `json:"curve_upper,omitempty"` // upper ends (sweep mode, τ > 0)
-	DecayRate  *float64  `json:"fitted_decay_rate,omitempty"`
-	MC         string    `json:"mc_estimate,omitempty"`
+	P               *float64  `json:"p,omitempty"`           // point violation probability (lower end when τ > 0)
+	PUpper          *float64  `json:"p_upper,omitempty"`     // certified upper end (τ > 0)
+	Bound1          *float64  `json:"bound1_tail,omitempty"` // analytic certificate
+	Depth           *int      `json:"confirmation_depth,omitempty"`
+	Target          *float64  `json:"target,omitempty"`
+	Curve           []float64 `json:"curve,omitempty"`       // lower curve (sweep mode)
+	CurveUpper      []float64 `json:"curve_upper,omitempty"` // upper ends (sweep mode, τ > 0)
+	DecayRate       *float64  `json:"fitted_decay_rate,omitempty"`
+	MC              string    `json:"mc_estimate,omitempty"`
+	MCSamplesPerSec *float64  `json:"mc_samples_per_sec,omitempty"`
 }
 
 type regime struct {
@@ -161,10 +162,19 @@ func main() {
 	}
 
 	if *mcN > 0 {
+		mcStart := time.Now()
 		est := mc.SettlementViolation(a.Params(), *prefix, *k, *mcN, *seed, *workers)
+		mcElapsed := time.Since(mcStart).Seconds()
 		out.MC = fmt.Sprint(est)
+		if mcElapsed > 0 {
+			sps := float64(est.N) / mcElapsed
+			out.MCSamplesPerSec = &sps
+		}
 		if text {
 			fmt.Printf("Monte-Carlo cross-check (|x|=%d, n=%d, seed=%d):    %v\n", *prefix, *mcN, *seed, est)
+			if out.MCSamplesPerSec != nil {
+				fmt.Printf("Monte-Carlo throughput: %.3g samples/sec (streaming engine)\n", *out.MCSamplesPerSec)
+			}
 			fmt.Println("(the DP value should fall inside — or within β^|x| of — the Wilson interval)")
 		}
 	}

@@ -11,14 +11,19 @@
 //
 // The independent executions are fanned out over a worker pool (-workers,
 // 0 = all CPUs). Run r always uses seed base+r, so the empirical rate is
-// identical at every pool size.
+// identical at every pool size. -json emits one machine-readable document
+// (parameters, empirical rate with Wilson interval, DP predictions,
+// throughput), mirroring cmd/settle and cmd/table1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"time"
 
 	"multihonest/internal/chainsim"
 	"multihonest/internal/charstring"
@@ -27,6 +32,28 @@ import (
 	"multihonest/internal/settlement"
 	"multihonest/internal/stats"
 )
+
+// jsonOutput is the -json document.
+type jsonOutput struct {
+	Strategy   string  `json:"strategy"`
+	Alpha      float64 `json:"alpha"`
+	Ph         float64 `json:"ph"`
+	S          int     `json:"s"`
+	K          int     `json:"k"`
+	Runs       int     `json:"runs"`
+	Seed       int64   `json:"seed"`
+	Workers    int     `json:"workers"`
+	Violations int     `json:"violations"`
+	Empirical  float64 `json:"empirical"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+
+	ExactFinitePrefix float64 `json:"exact_finite_prefix"`
+	ExactStationary   float64 `json:"exact_stationary"`
+
+	RunsPerSec float64 `json:"runs_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -38,6 +65,7 @@ func main() {
 	runs := flag.Int("runs", 400, "independent protocol executions")
 	seed := flag.Int64("seed", 1, "base seed")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = all CPUs)")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	flag.Parse()
 
 	switch *strategy {
@@ -89,6 +117,7 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	violated := make([]bool, *runs)
 	if err := runner.ForEach(*workers, *runs, func(run int) error {
 		ok, err := oneRun(run)
@@ -97,17 +126,19 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(start)
 	violations := 0
 	for _, v := range violated {
 		if v {
 			violations++
 		}
 	}
+	runsPerSec := 0.0
+	if elapsed > 0 {
+		runsPerSec = float64(*runs) / elapsed.Seconds()
+	}
 
 	lo, hi := stats.Wilson(violations, *runs)
-	fmt.Printf("strategy=%s α=%.2f ph=%.2f s=%d k=%d runs=%d\n", *strategy, *alpha, *ph, *s, *k, *runs)
-	fmt.Printf("empirical settlement-violation rate: %.4f [%.4f, %.4f] (%d/%d)\n",
-		float64(violations)/float64(*runs), lo, hi, violations, *runs)
 	comp := settlement.New(p)
 	curve, err := comp.ViolationCurveFinitePrefix(*s-1, *k)
 	if err != nil {
@@ -117,6 +148,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *asJSON {
+		out := jsonOutput{
+			Strategy: *strategy, Alpha: *alpha, Ph: *ph, S: *s, K: *k,
+			Runs: *runs, Seed: *seed, Workers: *workers,
+			Violations: violations, Empirical: float64(violations) / float64(*runs), Lo: lo, Hi: hi,
+			ExactFinitePrefix: curve[*k-1], ExactStationary: stationary,
+			RunsPerSec: runsPerSec, ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("strategy=%s α=%.2f ph=%.2f s=%d k=%d runs=%d\n", *strategy, *alpha, *ph, *s, *k, *runs)
+	fmt.Printf("empirical settlement-violation rate: %.4f [%.4f, %.4f] (%d/%d)\n",
+		float64(violations)/float64(*runs), lo, hi, violations, *runs)
+	fmt.Printf("throughput: %.3g runs/sec (%d runs in %.1f ms)\n", runsPerSec, *runs, float64(elapsed.Microseconds())/1e3)
 	fmt.Printf("exact optimal-adversary prediction (finite prefix |x|=%d): %.4f\n", *s-1, curve[*k-1])
 	fmt.Printf("stationary |x|→∞ prediction (Table 1 DP):                %.4f\n", stationary)
 	switch *strategy {

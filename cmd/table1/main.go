@@ -38,13 +38,14 @@ type jsonCell struct {
 
 // jsonOutput is the -json document.
 type jsonOutput struct {
-	Alphas    []float64  `json:"alphas"`
-	Fractions []float64  `json:"fractions"`
-	Horizons  []int      `json:"horizons"`
-	Tau       float64    `json:"tau"`
-	Workers   int        `json:"workers"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Cells     []jsonCell `json:"cells"`
+	Alphas      []float64  `json:"alphas"`
+	Fractions   []float64  `json:"fractions"`
+	Horizons    []int      `json:"horizons"`
+	Tau         float64    `json:"tau"`
+	Workers     int        `json:"workers"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+	CellsPerSec float64    `json:"cells_per_sec"`
+	Cells       []jsonCell `json:"cells"`
 }
 
 func main() {
@@ -88,6 +89,9 @@ func main() {
 			Tau:       *tau,
 			Workers:   *workers,
 			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		}
+		if elapsed > 0 {
+			out.CellsPerSec = float64(len(tbl.Cells)) / elapsed.Seconds()
 		}
 		for _, frac := range fracs {
 			for _, k := range horizons {

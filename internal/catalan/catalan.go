@@ -61,9 +61,16 @@ func (sc *Scan) RightCatalan(s int) bool { return s >= 1 && s <= len(sc.right) &
 // right-Catalan, Definition 11).
 func (sc *Scan) Catalan(s int) bool { return sc.LeftCatalan(s) && sc.RightCatalan(s) }
 
-// Slots returns all Catalan slots of w in increasing order.
+// Slots returns all Catalan slots of w in increasing order. The result is
+// sized exactly (one counting pass, one allocation).
 func (sc *Scan) Slots() []int {
-	var out []int
+	n := 0
+	for s := 1; s <= sc.Len(); s++ {
+		if sc.Catalan(s) {
+			n++
+		}
+	}
+	out := make([]int, 0, n)
 	for s := 1; s <= sc.Len(); s++ {
 		if sc.Catalan(s) {
 			out = append(out, s)

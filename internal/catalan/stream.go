@@ -1,0 +1,105 @@
+package catalan
+
+import (
+	"multihonest/internal/charstring"
+)
+
+// Cand is one pending candidate of a Stream: a slot observed to be
+// left-Catalan whose right-Catalan status is still open. If it survives to
+// the end of the string it is a Catalan slot of the whole string.
+type Cand struct {
+	Slot int               // 1-based slot index
+	S    int               // walk value S_Slot — a strict record low at push time
+	Sym  charstring.Symbol // the slot's symbol (h or H; only honest slots step down)
+}
+
+// Stream is the online Catalan scanner: the symbol-at-a-time counterpart of
+// Analyze, with O(1) amortized work per symbol and no per-string
+// allocation (the candidate stack is reused across Reset calls).
+//
+// Left-Catalan status is decided the moment a slot arrives — s is
+// left-Catalan iff its walk value S_s strictly undercuts the running prefix
+// minimum. Right-Catalan status is resolved through the pending-candidate
+// stack tracked against the running walk: candidate s dies as soon as the
+// walk climbs above S_s (some r > s has S_r > S_s), and survives to the end
+// exactly when it is right-Catalan. Because every pushed candidate is a
+// strict record low, the stack's S values are strictly decreasing from
+// bottom to top, so kills are pops: when the walk rises to v, exactly the
+// top candidates with S < v die. After T symbols, Pending() is exactly
+// Analyze(w).Slots() with each slot's symbol attached.
+//
+// A Stream carries mutable scratch and is not safe for concurrent use.
+// The zero value is ready; Reset starts a new string.
+type Stream struct {
+	// Filter, when non-nil, restricts which left-Catalan slots are tracked
+	// as candidates (e.g. "uniquely honest slots inside the E1 window").
+	// Slots rejected by the filter still update the walk and the prefix
+	// minimum — only the candidate stack is thinned. Set it once before the
+	// first Feed; it must not change between Reset and the end of a string.
+	Filter func(slot int, sym charstring.Symbol) bool
+
+	t    int // symbols consumed
+	s    int // walk value S_t
+	min  int // min_{0 ≤ j ≤ t-1} S_j before the current symbol, then updated
+	cand []Cand
+}
+
+// Reset discards the current string and starts a new one, keeping the
+// candidate stack's capacity.
+func (st *Stream) Reset() {
+	st.t, st.s, st.min = 0, 0, 0
+	st.cand = st.cand[:0]
+}
+
+// Feed consumes the next symbol and reports whether the slot was pushed as
+// a candidate (i.e. is left-Catalan and passed the filter).
+func (st *Stream) Feed(sym charstring.Symbol) (pushed bool) {
+	st.t++
+	v := st.s + sym.Walk()
+	if v > st.s {
+		// The walk rose (adversarial symbol): kill the candidates it
+		// overtook. No candidate can be pushed and the minimum is unmoved.
+		st.s = v
+		n := len(st.cand)
+		for n > 0 && st.cand[n-1].S < v {
+			n--
+		}
+		st.cand = st.cand[:n]
+		return false
+	}
+	st.s = v
+	if v < st.min {
+		// Strict record low ⇒ left-Catalan (only honest symbols step down,
+		// so the slot is honest by construction).
+		if st.Filter == nil || st.Filter(st.t, sym) {
+			st.cand = append(st.cand, Cand{Slot: st.t, S: v, Sym: sym})
+			pushed = true
+		}
+		st.min = v
+	}
+	return pushed
+}
+
+// Len returns the number of symbols consumed.
+func (st *Stream) Len() int { return st.t }
+
+// Walk returns the current walk value S_t.
+func (st *Stream) Walk() int { return st.s }
+
+// Pending returns the alive candidates in increasing slot order. The slice
+// aliases internal scratch: it is valid until the next Feed or Reset and
+// must not be retained.
+func (st *Stream) Pending() []Cand { return st.cand }
+
+// PendingCount returns the number of alive candidates.
+func (st *Stream) PendingCount() int { return len(st.cand) }
+
+// MaxPendingSlot returns the largest alive candidate slot, or 0 when none
+// is pending. Every slot in (MaxPendingSlot, Len] is certainly not Catalan,
+// whatever the rest of the string does.
+func (st *Stream) MaxPendingSlot() int {
+	if len(st.cand) == 0 {
+		return 0
+	}
+	return st.cand[len(st.cand)-1].Slot
+}

@@ -75,12 +75,13 @@ func (p Params) Bivalent() bool { return p.Ph == 0 }
 func (p Params) Sample(rng *rand.Rand, T int) String {
 	w := make(String, T)
 	pA := p.PA()
+	pAh := pA + p.Ph
 	for t := range w {
 		u := rng.Float64()
 		switch {
 		case u < pA:
 			w[t] = Adversarial
-		case u < pA+p.Ph:
+		case u < pAh:
 			w[t] = UniqueHonest
 		default:
 			w[t] = MultiHonest
@@ -101,6 +102,48 @@ func (p Params) SampleSymbol(rng *rand.Rand) Symbol {
 	default:
 		return MultiHonest
 	}
+}
+
+// threshold converts a probability into a raw-uint64 cumulative cut: a
+// uniform u ∈ [0, 2⁶⁴) satisfies u < threshold(p) with probability p up to
+// one part in 2⁶⁴ (float64 carries 53 significant bits, so the cut is exact
+// at the resolution of the probability itself).
+func threshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	f := p * 0x1p64
+	if f >= 0x1p64 {
+		return ^uint64(0)
+	}
+	return uint64(f)
+}
+
+// Thresholds is the raw-uint64 form of the synchronous per-slot law, the
+// sampler of the streaming Monte-Carlo core: one Uint64 draw and at most
+// two compares per symbol where Sample pays a rand.Float64 call. The
+// category boundaries are the same cumulative cuts as Sample's
+// (A | h | H in that order), so the induced law is identical.
+type Thresholds struct {
+	a  uint64 // u < a  → A
+	ah uint64 // u < ah → h; otherwise H
+}
+
+// Thresholds returns the raw-uint64 sampling form of the per-slot law.
+func (p Params) Thresholds() Thresholds {
+	pA := p.PA()
+	return Thresholds{a: threshold(pA), ah: threshold(pA + p.Ph)}
+}
+
+// Symbol maps one raw uniform draw to a symbol of the law.
+func (t Thresholds) Symbol(u uint64) Symbol {
+	if u < t.a {
+		return Adversarial
+	}
+	if u < t.ah {
+		return UniqueHonest
+	}
+	return MultiHonest
 }
 
 // SemiSyncParams is the semi-synchronous per-slot law of Theorem 7:
@@ -144,6 +187,38 @@ func (s SemiSyncParams) Sample(rng *rand.Rand, T int) String {
 		}
 	}
 	return w
+}
+
+// SemiSyncThresholds is the raw-uint64 form of the semi-synchronous
+// per-slot law (⊥ | A | h | H, the same cumulative order as
+// SemiSyncParams.Sample).
+type SemiSyncThresholds struct {
+	e   uint64 // u < e   → ⊥
+	ea  uint64 // u < ea  → A
+	eah uint64 // u < eah → h; otherwise H
+}
+
+// Thresholds returns the raw-uint64 sampling form of the semi-sync law.
+func (s SemiSyncParams) Thresholds() SemiSyncThresholds {
+	return SemiSyncThresholds{
+		e:   threshold(s.PEmpty),
+		ea:  threshold(s.PEmpty + s.PA),
+		eah: threshold(s.PEmpty + s.PA + s.Ph),
+	}
+}
+
+// Symbol maps one raw uniform draw to a symbol of the law.
+func (t SemiSyncThresholds) Symbol(u uint64) Symbol {
+	if u < t.e {
+		return Empty
+	}
+	if u < t.ea {
+		return Adversarial
+	}
+	if u < t.eah {
+		return UniqueHonest
+	}
+	return MultiHonest
 }
 
 // AdaptiveSampler draws characteristic strings whose symbols need not be

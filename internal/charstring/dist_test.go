@@ -1,0 +1,100 @@
+package charstring
+
+import (
+	"math"
+	"testing"
+)
+
+// TestThresholdEdges: degenerate probabilities map to the extreme cuts.
+func TestThresholdEdges(t *testing.T) {
+	if threshold(0) != 0 {
+		t.Fatalf("threshold(0) = %d", threshold(0))
+	}
+	if threshold(-1) != 0 {
+		t.Fatalf("threshold(-1) = %d", threshold(-1))
+	}
+	if threshold(1) != ^uint64(0) {
+		t.Fatalf("threshold(1) = %d", threshold(1))
+	}
+	if threshold(2) != ^uint64(0) {
+		t.Fatalf("threshold(2) = %d", threshold(2))
+	}
+	// A representative interior cut: p = 1/2 is the exact midpoint.
+	if got, want := threshold(0.5), uint64(1)<<63; got != want {
+		t.Fatalf("threshold(0.5) = %d, want %d", got, want)
+	}
+}
+
+// TestThresholdsCategoryFrequencies: the raw-uint64 sampler reproduces the
+// per-slot law to Monte-Carlo accuracy, for both alphabets, using a simple
+// deterministic LCG as the raw stream.
+func TestThresholdsCategoryFrequencies(t *testing.T) {
+	const n = 200000
+	lcg := uint64(88172645463325252)
+	next := func() uint64 {
+		lcg ^= lcg << 13
+		lcg ^= lcg >> 7
+		lcg ^= lcg << 17
+		return lcg
+	}
+
+	p := MustParams(0.3, 0.25)
+	th := p.Thresholds()
+	counts := map[Symbol]int{}
+	for i := 0; i < n; i++ {
+		counts[th.Symbol(next())]++
+	}
+	ph, pH, pA := p.Probabilities()
+	for _, c := range []struct {
+		sym  Symbol
+		want float64
+	}{{UniqueHonest, ph}, {MultiHonest, pH}, {Adversarial, pA}} {
+		got := float64(counts[c.sym]) / n
+		if math.Abs(got-c.want) > 4*math.Sqrt(c.want*(1-c.want)/n) {
+			t.Errorf("sync %v: frequency %.4f, want %.4f", c.sym, got, c.want)
+		}
+	}
+
+	sp, err := NewSemiSyncParams(0.5, 0.2, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sth := sp.Thresholds()
+	counts = map[Symbol]int{}
+	for i := 0; i < n; i++ {
+		counts[sth.Symbol(next())]++
+	}
+	for _, c := range []struct {
+		sym  Symbol
+		want float64
+	}{{Empty, sp.PEmpty}, {UniqueHonest, sp.Ph}, {MultiHonest, sp.PH}, {Adversarial, sp.PA}} {
+		got := float64(counts[c.sym]) / n
+		if math.Abs(got-c.want) > 4*math.Sqrt(c.want*(1-c.want)/n) {
+			t.Errorf("semi-sync %v: frequency %.4f, want %.4f", c.sym, got, c.want)
+		}
+	}
+}
+
+// TestThresholdsBoundaryDraws: category boundaries are half-open exactly
+// like Sample's cumulative compares (u < cut).
+func TestThresholdsBoundaryDraws(t *testing.T) {
+	p := MustParams(0.5, 0.25) // pA = 0.25, ph = 0.25, pH = 0.5
+	th := p.Thresholds()
+	cutA := threshold(0.25)
+	cutAh := threshold(0.5)
+	for _, tc := range []struct {
+		u    uint64
+		want Symbol
+	}{
+		{0, Adversarial},
+		{cutA - 1, Adversarial},
+		{cutA, UniqueHonest},
+		{cutAh - 1, UniqueHonest},
+		{cutAh, MultiHonest},
+		{^uint64(0), MultiHonest},
+	} {
+		if got := th.Symbol(tc.u); got != tc.want {
+			t.Errorf("Symbol(%d) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+}

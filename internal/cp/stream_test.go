@@ -1,0 +1,92 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+func randomSync(rng *rand.Rand, T int, ph float64) charstring.String {
+	w := make(charstring.String, T)
+	for i := range w {
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			w[i] = charstring.Adversarial
+		case r < 0.35+ph:
+			w[i] = charstring.UniqueHonest
+		default:
+			w[i] = charstring.MultiHonest
+		}
+	}
+	return w
+}
+
+// TestWindowStreamFinishEquivalence: the exact end-of-string value agrees
+// with UVPFreeWindow under both tie models on randomized strings, with one
+// stream reused across strings.
+func TestWindowStreamFinishEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, consistent := range []bool{false, true} {
+		ws := WindowStream{ConsistentTies: consistent}
+		for trial := 0; trial < 300; trial++ {
+			T := 1 + rng.Intn(120)
+			w := randomSync(rng, T, 0.3)
+			ws.Reset()
+			for _, sym := range w {
+				ws.Feed(sym)
+			}
+			got := ws.Finish()
+			want := UVPFreeWindow(w, consistent)
+			if got != want {
+				t.Fatalf("consistent=%v trial %d (%v): stream %d, oracle %d", consistent, trial, w, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowStreamCertifiedSound: after every prefix, the certified lower
+// bound never exceeds the exact final window (early exits can never flip a
+// verdict), and it is monotone along the stream.
+func TestWindowStreamCertifiedSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		T := 1 + rng.Intn(100)
+		w := randomSync(rng, T, 0.2)
+		consistent := trial%2 == 0
+		exact := UVPFreeWindow(w, consistent)
+		ws := WindowStream{ConsistentTies: consistent}
+		ws.Reset()
+		prev := 0
+		for i, sym := range w {
+			ws.Feed(sym)
+			c := ws.Certified()
+			if c > exact {
+				t.Fatalf("trial %d (%v): certified %d after %d symbols exceeds exact %d", trial, w, c, i+1, exact)
+			}
+			if c < prev {
+				t.Fatalf("trial %d (%v): certified bound decreased %d → %d at symbol %d", trial, w, prev, c, i+1)
+			}
+			prev = c
+		}
+		// At the end the certified bound and the exact value must agree up
+		// to the UVP refinement: certified counts all Catalan candidates as
+		// potential UVP slots, exact only the real UVP slots.
+		if ws.Certified() > exact {
+			t.Fatalf("trial %d: final certified %d > exact %d", trial, ws.Certified(), exact)
+		}
+	}
+}
+
+// TestWindowStreamAllAdversarial: with no honest slot there is no
+// candidate at all; the whole string is one certified UVP-free window.
+func TestWindowStreamAllAdversarial(t *testing.T) {
+	var ws WindowStream
+	ws.Reset()
+	for i := 0; i < 37; i++ {
+		ws.Feed(charstring.Adversarial)
+	}
+	if ws.Certified() != 37 || ws.Finish() != 37 {
+		t.Fatalf("certified %d finish %d, want 37", ws.Certified(), ws.Finish())
+	}
+}

@@ -1,0 +1,180 @@
+package deltasync
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+// randomSemiSync draws a random semi-synchronous string with a healthy
+// share of empty slots.
+func randomSemiSync(rng *rand.Rand, T int) charstring.String {
+	w := make(charstring.String, T)
+	for i := range w {
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			w[i] = charstring.Empty
+		case r < 0.60:
+			w[i] = charstring.Adversarial
+		case r < 0.85:
+			w[i] = charstring.UniqueHonest
+		default:
+			w[i] = charstring.MultiHonest
+		}
+	}
+	return w
+}
+
+// TestReduceStreamEquivalence: the online reduction emits exactly the
+// (symbol, slot) sequence of the slice-based Reduce, on randomized strings
+// across delays, with one stream reused across strings.
+func TestReduceStreamEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	type emit struct {
+		sym  charstring.Symbol
+		slot int
+	}
+	var got []emit
+	rs := ReduceStream{Emit: func(sym charstring.Symbol, slot int) {
+		got = append(got, emit{sym, slot})
+	}}
+	for trial := 0; trial < 300; trial++ {
+		T := 1 + rng.Intn(80)
+		delta := rng.Intn(6)
+		w := randomSemiSync(rng, T)
+		rs.Delta, rs.T = delta, T
+		rs.Reset()
+		got = got[:0]
+		for _, sym := range w {
+			if err := rs.Feed(sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+		red, pi, err := Reduce(w, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(red) {
+			t.Fatalf("trial %d Δ=%d (%v): stream emitted %d symbols, Reduce %d", trial, delta, w, len(got), len(red))
+		}
+		for i := range red {
+			if got[i].sym != red[i] || got[i].slot != pi[i] {
+				t.Fatalf("trial %d Δ=%d (%v): emission %d = (%v, %d), want (%v, %d)",
+					trial, delta, w, i, got[i].sym, got[i].slot, red[i], pi[i])
+			}
+		}
+	}
+}
+
+// TestReduceStreamInvalidSymbol: invalid input surfaces an error like
+// Reduce's validation.
+func TestReduceStreamInvalidSymbol(t *testing.T) {
+	rs := ReduceStream{Delta: 1, T: 3, Emit: func(charstring.Symbol, int) {}}
+	if err := rs.Feed(charstring.Symbol(9)); err == nil {
+		t.Fatal("invalid symbol accepted")
+	}
+}
+
+// TestSettledStreamEquivalence: feeding a whole string through the
+// streaming certificate scanner agrees with the slice-based Settled on
+// every (string, s, k, Δ) combination tried — including the early-decided
+// ones, where the stream must report the same verdict without the tail.
+func TestSettledStreamEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	decidedEarly := 0
+	for trial := 0; trial < 400; trial++ {
+		T := 20 + rng.Intn(100)
+		delta := rng.Intn(5)
+		k := 1 + rng.Intn(10)
+		w := randomSemiSync(rng, T)
+		s := 1 + rng.Intn(T)
+		if w[s-1] == charstring.Empty {
+			w[s-1] = charstring.UniqueHonest // condition on a leader, as the sampler does
+		}
+		st, err := NewSettledStream(s, k, delta, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Reset()
+		early := false
+		for _, sym := range w {
+			if st.Feed(sym) {
+				early = true
+				break
+			}
+		}
+		if early {
+			decidedEarly++
+		}
+		gotSettled, gotErr := st.Finish()
+		wantSettled, wantErr := Settled(w, s, k, delta)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d (s=%d k=%d Δ=%d, %v): error mismatch %v vs %v", trial, s, k, delta, w, gotErr, wantErr)
+		}
+		if gotErr == nil && gotSettled != wantSettled {
+			t.Fatalf("trial %d (s=%d k=%d Δ=%d, early=%v, %v): stream %v, oracle %v",
+				trial, s, k, delta, early, w, gotSettled, wantSettled)
+		}
+		if early && gotErr == nil && gotSettled {
+			t.Fatalf("trial %d: early exit may only decide 'no certificate'", trial)
+		}
+	}
+	if decidedEarly == 0 {
+		t.Fatal("no trial exercised the early-exit path; weaken the parameters")
+	}
+}
+
+// TestSettledStreamEmptySlot: querying an empty slot errors exactly like
+// the oracle.
+func TestSettledStreamEmptySlot(t *testing.T) {
+	w := charstring.MustParse("A__hA")
+	st, err := NewSettledStream(2, 2, 1, len(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Reset()
+	for _, sym := range w {
+		if st.Feed(sym) {
+			break
+		}
+	}
+	if _, err := st.Finish(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("expected empty-slot error, got %v", err)
+	}
+	if _, wantErr := Settled(w, 2, 2, 1); wantErr == nil {
+		t.Fatal("oracle accepted an empty slot")
+	}
+}
+
+// TestSettledStreamReuse: Reset fully isolates consecutive samples (a
+// string with a certificate followed by one without, on shared scratch).
+func TestSettledStreamReuse(t *testing.T) {
+	st, err := NewSettledStream(1, 2, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(text string) (bool, error) {
+		w := charstring.MustParse(text)
+		st.Reset()
+		for _, sym := range w {
+			if st.Feed(sym) {
+				break
+			}
+		}
+		return st.Finish()
+	}
+	settled, err := feed("hhhhhhhh")
+	if err != nil || !settled {
+		t.Fatalf("all-honest string should certify: %v, %v", settled, err)
+	}
+	settled, err = feed("AAAAAAAA")
+	if err != nil || settled {
+		t.Fatalf("all-adversarial string should not certify: %v, %v", settled, err)
+	}
+	settled, err = feed("hhhhhhhh")
+	if err != nil || !settled {
+		t.Fatalf("scratch reuse broke the certificate: %v, %v", settled, err)
+	}
+}

@@ -23,7 +23,7 @@ import (
 func Rho(w charstring.String) int {
 	r := 0
 	for _, s := range w {
-		r = stepRho(r, s)
+		r = StepRho(r, s)
 	}
 	return r
 }
@@ -33,22 +33,32 @@ func Rho(w charstring.String) int {
 func RhoTrace(w charstring.String) []int {
 	out := make([]int, len(w)+1)
 	for t, s := range w {
-		out[t+1] = stepRho(out[t], s)
+		out[t+1] = StepRho(out[t], s)
 	}
 	return out
 }
 
-func stepRho(r int, s charstring.Symbol) int {
+// badSymbol reports an out-of-alphabet symbol. It is outlined (and kept
+// out of line) so the hot recurrence steps stay within the compiler's
+// inlining budget — they run once per symbol of every Monte-Carlo sample.
+//
+//go:noinline
+func badSymbol(s charstring.Symbol) {
+	panic(fmt.Sprintf("margin: symbol %v not in {h,H,A}", s))
+}
+
+// StepRho advances the reach ρ by one symbol — the Theorem 5 recurrence in
+// online form, used by the streaming settlement verdict to absorb the
+// prefix x one symbol at a time.
+func StepRho(r int, s charstring.Symbol) int {
 	switch s {
 	case charstring.Adversarial:
 		return r + 1
 	case charstring.UniqueHonest, charstring.MultiHonest:
-		if r == 0 {
-			return 0
-		}
-		return r - 1
+		return max(r-1, 0)
 	default:
-		panic(fmt.Sprintf("margin: symbol %v not in {h,H,A}", s))
+		badSymbol(s)
+		return 0
 	}
 }
 
@@ -63,7 +73,7 @@ func stepRho(r int, s charstring.Symbol) int {
 // rho is ρ(xy) before the step; mu is µ_x(y) before the step. The returned
 // values are the post-step pair.
 func StepMu(rho, mu int, s charstring.Symbol) (rho2, mu2 int) {
-	rho2 = stepRho(rho, s)
+	rho2 = StepRho(rho, s)
 	switch s {
 	case charstring.Adversarial:
 		mu2 = mu + 1
@@ -80,7 +90,7 @@ func StepMu(rho, mu int, s charstring.Symbol) (rho2, mu2 int) {
 			mu2 = mu - 1
 		}
 	default:
-		panic(fmt.Sprintf("margin: symbol %v not in {h,H,A}", s))
+		badSymbol(s)
 	}
 	return rho2, mu2
 }

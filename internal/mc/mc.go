@@ -4,12 +4,18 @@
 // margin, cp and deltasync. Each experiment corresponds to an entry of the
 // DESIGN.md experiment index (E1–E7) and feeds EXPERIMENTS.md.
 //
-// Every experiment is expressed as a pure per-string runner.Verdict plugged
-// into the worker-pool engine of package runner: the exported experiment
-// functions pair a verdict constructor with a sampler and delegate to
-// runner.Run. For a fixed (seed, n) the resulting Estimate is bit-identical
-// at every worker count; workers = 0 uses all CPUs and workers = 1 is the
-// serial path.
+// Every experiment exists in two equivalent forms. The production form is
+// streaming: the exported experiment functions pair a runner.StreamVerdict
+// (stream.go) with a raw-uint64 threshold sampler and delegate to
+// runner.RunStream — a fused sample–judge loop with zero steady-state
+// allocations and early exit. The slice-at-a-time form (the
+// runner.Verdict constructors below, plugged into runner.Run) is kept as
+// the reference oracle: equivalence tests pin each streaming verdict to
+// agree with its oracle on every string. For a fixed (seed, n) every
+// Estimate is bit-identical at every worker count; workers = 0 uses all
+// CPUs and workers = 1 is the serial path. The streaming sample stream
+// differs from the pre-streaming rand.Float64 stream, so estimates across
+// that engine change are equal only statistically, not bitwise.
 package mc
 
 import (
@@ -40,14 +46,16 @@ func mustRun(cfg runner.Config, sample runner.Sampler, verdict runner.Verdict) E
 }
 
 // BernoulliSampler draws length-T strings under the (ǫ, ph)-Bernoulli law —
-// the sampler of every synchronous experiment.
+// the sampler of the slice-based oracle path (the streaming path uses
+// StreamBernoulliSampler).
 func BernoulliSampler(p charstring.Params, T int) runner.Sampler {
 	return func(rng *rand.Rand) charstring.String { return p.Sample(rng, T) }
 }
 
 // NoUniquelyHonestCatalanVerdict reports the Bound 1 event on a sampled
 // string: the k-slot window starting at slot s contains no uniquely honest
-// Catalan slot of the whole string.
+// Catalan slot of the whole string. It is the slice-based oracle of the
+// streaming verdict used by NoUniquelyHonestCatalan.
 func NoUniquelyHonestCatalanVerdict(s, k int) runner.Verdict {
 	return func(w charstring.String) (bool, error) {
 		sc := catalan.Analyze(w)
@@ -66,8 +74,9 @@ func NoUniquelyHonestCatalanVerdict(s, k int) runner.Verdict {
 // after the tail decays geometrically). workers = 0 uses all CPUs.
 func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64, workers int) Estimate {
 	T := s - 1 + k + tail
-	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
-		BernoulliSampler(p, T), NoUniquelyHonestCatalanVerdict(s, k))
+	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		StreamBernoulliSampler(p),
+		func() runner.StreamVerdict { return newNoUHCatalanStream(s, k) })
 }
 
 // NoConsecutiveCatalanVerdict reports the Bound 2 event: the k-slot window
@@ -89,8 +98,9 @@ func NoConsecutiveCatalanVerdict(s, k int) runner.Verdict {
 func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64, workers int) Estimate {
 	p := charstring.MustParams(epsilon, 0)
 	T := s - 1 + k + tail
-	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
-		BernoulliSampler(p, T), NoConsecutiveCatalanVerdict(s, k))
+	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		StreamBernoulliSampler(p),
+		func() runner.StreamVerdict { return newNoConsecCatalanStream(s, k) })
 }
 
 // SettlementViolationVerdict reports the Table 1 event on a sampled string
@@ -104,8 +114,9 @@ func SettlementViolationVerdict(m int) runner.Verdict {
 // SettlementViolation estimates Pr[µ_x(y) ≥ 0] for |x| = m, |y| = k — the
 // Table 1 event with a finite prefix. It cross-validates the exact DP.
 func SettlementViolation(p charstring.Params, m, k, n int, seed int64, workers int) Estimate {
-	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
-		BernoulliSampler(p, m+k), SettlementViolationVerdict(m))
+	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, m+k,
+		StreamBernoulliSampler(p),
+		func() runner.StreamVerdict { return newSettlementStream(m, m+k) })
 }
 
 // ConsistentTiesUnsettled estimates the settlement failure certificate
@@ -126,8 +137,9 @@ func CPViolationVerdict(k int, consistentTies bool) runner.Verdict {
 // CPViolationPossible estimates the Theorem 8 event over T-slot strings
 // (experiment E5).
 func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool, workers int) Estimate {
-	return mustRun(runner.Config{N: n, Seed: seed, Workers: workers},
-		BernoulliSampler(p, T), CPViolationVerdict(k, consistentTies))
+	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		StreamBernoulliSampler(p),
+		func() runner.StreamVerdict { return newCPStream(k, consistentTies) })
 }
 
 // ConditionedSemiSyncSampler draws length-T semi-synchronous strings
@@ -163,8 +175,18 @@ func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed
 		return Estimate{}, fmt.Errorf("mc: zero activity rate")
 	}
 	T := s + int(float64(2*k+tail)/f) + delta
-	return runner.Run(runner.Config{N: n, Seed: seed, Workers: workers},
-		ConditionedSemiSyncSampler(sp, s, T), DeltaUnsettledVerdict(s, k, delta))
+	if _, err := newDeltaUnsettledStream(s, k, delta, T); err != nil {
+		return Estimate{}, err
+	}
+	return runner.RunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		StreamConditionedSemiSyncSampler(sp, s),
+		func() runner.StreamVerdict {
+			v, err := newDeltaUnsettledStream(s, k, delta, T)
+			if err != nil {
+				panic(fmt.Sprintf("mc: delta verdict construction failed after validation: %v", err))
+			}
+			return v
+		})
 }
 
 // Series sweeps a horizon list serially, returning one estimate per k.
@@ -183,10 +205,15 @@ func Series(ks []int, f func(k int) Estimate) []Estimate {
 // the two parallelism levels compete for cores.
 func SeriesParallel(ks []int, workers int, f func(k int) Estimate) []Estimate {
 	out := make([]Estimate, len(ks))
-	_ = runner.ForEach(workers, len(ks), func(i int) error {
+	// The loop body cannot fail (f returns no error), so a non-nil ForEach
+	// error is a programming bug in this package — surface it loudly
+	// rather than silently discarding it.
+	if err := runner.ForEach(workers, len(ks), func(i int) error {
 		out[i] = f(ks[i])
 		return nil
-	})
+	}); err != nil {
+		panic(fmt.Sprintf("mc: infallible series sweep failed: %v", err))
+	}
 	return out
 }
 

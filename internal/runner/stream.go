@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multihonest/internal/charstring"
+)
+
+// This file is the streaming half of the engine: a fused sample–judge loop
+// that never materializes a charstring.String. The batch Run path draws a
+// whole string, hands it to a slice-at-a-time Verdict, and throws it away —
+// one heap allocation per sample plus whatever the verdict allocates
+// (catalan.Analyze alone makes four O(T) slices). RunStream instead drives
+// a per-worker StreamVerdict one symbol at a time from a raw-uint64
+// splitmix64 stream, so the steady-state loop performs zero allocations and
+// a sample that decides early stops drawing symbols at all.
+//
+// # Determinism
+//
+// The streaming scheme keeps the batch discipline of Run and sharpens it to
+// sample granularity: sample i of batch b always draws from the splitmix64
+// stream seeded by SampleSeed(seed, b, i), regardless of which worker runs
+// the batch and regardless of how many symbols *other* samples consumed
+// before deciding. Early exit therefore cannot leak randomness between
+// samples: the Estimate is bit-identical at every worker count, and also
+// identical whether or not verdicts exercise their early-exit paths (the
+// undrawn symbols of a decided sample are simply never generated). Two runs
+// agree exactly iff they share N, Seed and BatchSize — the same contract as
+// Run, over a different (equally valid) sample stream.
+
+// SM64 is a SplitMix64 generator: state advances by the golden-gamma
+// increment and each output is the bijective avalanche finalizer of the new
+// state. It is the raw-uint64 source of the streaming sampler — one add,
+// two xor-multiplies and a shift per symbol, no interface and no escape to
+// the heap, where the batch path pays a full rand.Float64 call.
+type SM64 struct{ x uint64 }
+
+// Reseed repositions the stream; the next Uint64 is a pure function of seed.
+func (r *SM64) Reseed(seed uint64) { r.x = seed }
+
+// Uint64 returns the next raw 64-bit draw.
+func (r *SM64) Uint64() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SampleSeed derives the deterministic stream seed of sample i (0-based,
+// within its batch) of batch b under the given job seed. Both coordinates
+// pass through the splitmix64 finalizer so that neighbouring batches and
+// sample indices land on decorrelated streams.
+func SampleSeed(seed int64, batch, i int) uint64 {
+	return splitmix64(splitmix64(uint64(seed)^splitmix64(uint64(batch))) + uint64(i))
+}
+
+// SymbolSampler draws the symbol of one slot (1-based) from the raw stream.
+// It must be a pure function of (rng stream position, slot) — conditioning
+// hooks like "promote an empty slot s to uniquely honest" key off slot.
+type SymbolSampler func(rng *SM64, slot int) charstring.Symbol
+
+// StreamVerdict is the symbol-at-a-time counterpart of Verdict. The engine
+// drives it as Reset, then Feed per symbol until either Feed reports the
+// verdict is decided (no further symbols are drawn) or T symbols have been
+// fed, then Finish.
+//
+// Implementations carry reusable scratch and are therefore NOT safe for
+// concurrent use: RunStream gives every worker its own instance. Feed may
+// only return true when no continuation of the stream could change the
+// verdict, so that early exit is unobservable in the Estimate.
+type StreamVerdict interface {
+	// Reset prepares the scratch for a fresh sample.
+	Reset()
+	// Feed consumes the next symbol and reports whether the verdict is
+	// already decided (early exit).
+	Feed(sym charstring.Symbol) (decided bool)
+	// Finish returns the verdict for the fed prefix. After an early exit it
+	// must return the decided value; otherwise exactly T symbols were fed.
+	Finish() (bool, error)
+}
+
+// RunStream executes a Monte-Carlo job on the fused streaming loop: cfg.N
+// samples of length (at most) T, drawn symbol-at-a-time by sample and
+// judged online by per-worker verdicts from newVerdict. The returned
+// Estimate is bit-identical for every worker count (see the file comment);
+// the first verdict error cancels the remaining batches and is returned.
+func RunStream(cfg Config, T int, sample SymbolSampler, newVerdict func() StreamVerdict) (Estimate, error) {
+	if sample == nil || newVerdict == nil {
+		return Estimate{}, fmt.Errorf("runner: nil sampler or verdict constructor")
+	}
+	if T <= 0 {
+		return Estimate{}, fmt.Errorf("runner: non-positive sample length %d", T)
+	}
+	if cfg.N <= 0 {
+		return NewEstimate(0, 0), nil
+	}
+	bs := cfg.batchSize()
+	batches := (cfg.N + bs - 1) / bs
+	workers := min(cfg.workers(), batches)
+	results := make(chan batchResult, workers)
+
+	// Explicit pool rather than ForEach: each worker owns one StreamVerdict
+	// (mutable scratch) and one SM64 for its whole lifetime, so the
+	// steady-state sample loop touches no shared state but the batch
+	// counter.
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVerdict()
+			var rng SM64
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= batches || failed.Load() {
+					return
+				}
+				lo := b * bs
+				hi := min(lo+bs, cfg.N)
+				hits := 0
+				for i := lo; i < hi; i++ {
+					rng.Reseed(SampleSeed(cfg.Seed, b, i-lo))
+					v.Reset()
+					for t := 1; t <= T; t++ {
+						if v.Feed(sample(&rng, t)) {
+							break
+						}
+					}
+					ok, err := v.Finish()
+					if err != nil {
+						failed.Store(true)
+						results <- batchResult{err: fmt.Errorf("runner: batch %d sample %d: %w", b, i, err)}
+						return
+					}
+					if ok {
+						hits++
+					}
+				}
+				results <- batchResult{hits: hits, n: hi - lo}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Same order-independent integer fold as Run.
+	hits, done := 0, 0
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		hits += r.hits
+		done += r.n
+		if cfg.Progress != nil {
+			cfg.Progress(done, cfg.N)
+		}
+	}
+	if firstErr != nil {
+		return Estimate{}, firstErr
+	}
+	return NewEstimate(hits, cfg.N), nil
+}
