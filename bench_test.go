@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"multihonest/internal/adversary"
@@ -20,6 +21,7 @@ import (
 	"multihonest/internal/gf"
 	"multihonest/internal/leader"
 	"multihonest/internal/mc"
+	"multihonest/internal/oracle"
 	"multihonest/internal/runner"
 	"multihonest/internal/settlement"
 )
@@ -497,4 +499,106 @@ func BenchmarkConfirmationDepth(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// oracleBenchKeys is the serve-benchmark key universe: the Table-1 (α,
+// frac) grid with a fixed horizon per key. It mirrors serveBenchKeys in
+// internal/oracle, where TestOracleServeEquivalence pins every answer of
+// this exact mix byte-identical to the uncached core.Analyzer path.
+func oracleBenchKeys() []struct {
+	alpha, ph float64
+	k         int
+} {
+	alphas := []float64{0.10, 0.20, 0.25, 0.30, 0.40, 0.49}
+	fracs := []float64{1.0, 0.9, 0.5, 0.25, 0.1, 0.01}
+	keys := make([]struct {
+		alpha, ph float64
+		k         int
+	}, 0, len(alphas)*len(fracs))
+	for i, frac := range fracs {
+		for j, alpha := range alphas {
+			keys = append(keys, struct {
+				alpha, ph float64
+				k         int
+			}{alpha: alpha, ph: frac * (1 - alpha), k: 40 + 20*((i*len(alphas)+j)%8)})
+		}
+	}
+	return keys
+}
+
+// oracleBenchStream draws the zipfian hot-key query sequence shared by the
+// serve and cold benchmarks (skew 1.4: a handful of hot parameter points
+// take most of the traffic, the oracle's intended regime).
+func oracleBenchStream(n int) []struct {
+	alpha, ph float64
+	k         int
+} {
+	keys := oracleBenchKeys()
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(keys)-1))
+	stream := make([]struct {
+		alpha, ph float64
+		k         int
+	}, n)
+	for i := range stream {
+		stream[i] = keys[zipf.Uint64()]
+	}
+	return stream
+}
+
+// BenchmarkOracleServe measures the oracle on a hot zipfian key mix: each
+// parameter point cold-builds once, then every further query is a cache
+// read (or an incremental extension). The qps metric is the acceptance
+// headline against BenchmarkOracleCold, which answers the identical stream
+// with a fresh DP build per query.
+func BenchmarkOracleServe(b *testing.B) {
+	stream := oracleBenchStream(4096)
+	b.Run("serial", func(b *testing.B) {
+		o := oracle.New(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := stream[i%len(stream)]
+			if _, err := o.SettlementFailure(q.alpha, q.ph, q.k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		o := oracle.New(0)
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				q := stream[int(next.Add(1)-1)%len(stream)]
+				if _, err := o.SettlementFailure(q.alpha, q.ph, q.k); err != nil {
+					b.Error(err) // Fatal must not run off the main goroutine
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+}
+
+// BenchmarkOracleCold is the ablation baseline for BenchmarkOracleServe:
+// the same zipfian stream answered the pre-oracle way, one fresh
+// settlement sweep per query with nothing shared between queries.
+func BenchmarkOracleCold(b *testing.B) {
+	stream := oracleBenchStream(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := stream[i%len(stream)]
+		a, err := core.New(q.alpha, q.ph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.SettlementFailure(q.k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 }

@@ -1,16 +1,18 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
 // machine-readable JSON summary, optionally computing speedups against a
 // committed baseline. It backs the CI bench smoke step, which publishes
-// BENCH_pr3.json per commit to seed the performance trajectory.
+// BENCH_pr4.json per commit to seed the performance trajectory.
 //
 // Usage:
 //
-//	go test -run NONE -bench . -benchmem . | benchjson -baseline bench/baseline_pr2.json -o BENCH_pr3.json
+//	go test -run NONE -bench . -benchmem . | benchjson -baseline bench/baseline_pr3.json -o BENCH_pr4.json
 //
 // The baseline file maps benchmark name → ns/op of the committed reference
-// (see bench/baseline_pr2.json: the slice-at-a-time oracle engine measured
-// before the streaming core landed). Speedup is baseline ns/op divided by
-// current ns/op for every benchmark present in both.
+// (see bench/baseline_pr3.json: the streaming Monte-Carlo core measured
+// when PR 3 landed). Speedup is baseline ns/op divided by current ns/op
+// for every benchmark present in both. Custom throughput units (qps from
+// the oracle serve benchmarks, samples/s from the MC engine) are carried
+// through as-is.
 package main
 
 import (
@@ -33,6 +35,7 @@ type Result struct {
 	BytesPerOp      *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp     *float64 `json:"allocs_per_op,omitempty"`
 	SamplesPerSec   *float64 `json:"samples_per_sec,omitempty"`
+	QPS             *float64 `json:"qps,omitempty"`
 	BaselineNsPerOp *float64 `json:"baseline_ns_per_op,omitempty"`
 	Speedup         *float64 `json:"speedup,omitempty"`
 }
@@ -86,6 +89,8 @@ func parse(lines []string) Summary {
 				r.AllocsPerOp = &v
 			case "samples/s":
 				r.SamplesPerSec = &v
+			case "qps":
+				r.QPS = &v
 			}
 		}
 		s.Benchmarks = append(s.Benchmarks, r)

@@ -1,0 +1,245 @@
+// Command loadgen drives a running settlement-oracle service (cmd/serve)
+// with a zipfian-skewed query mix and reports achieved throughput and
+// latency percentiles. The skewed key popularity is the oracle's intended
+// regime: a small hot set of parameter points that should be answered from
+// cached curves after one cold build each.
+//
+// Usage:
+//
+//	loadgen [-url http://127.0.0.1:8080] [-duration 5s] [-concurrency 8]
+//	        [-keys 64] [-skew 1.2] [-kmax 400] [-ops cell,curve,failure,depth,bracket]
+//	        [-seed 1] [-json]
+//
+// Every worker draws keys from a shared universe of -keys parameter points
+// (deterministic in -seed) through an independent zipf(-skew) stream, so
+// a few points receive most of the traffic. The exit status is the smoke
+// contract for CI: non-zero when no request completed or any request
+// failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// point is one parameter point of the key universe.
+type point struct {
+	alpha, frac float64
+}
+
+// result aggregates one worker's traffic.
+type result struct {
+	latencies []float64 // seconds
+	errors    int
+	firstErr  error
+}
+
+// summary is the emitted report.
+type summary struct {
+	URL         string  `json:"url"`
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	Keys        int     `json:"keys"`
+	Skew        float64 `json:"skew"`
+	Ops         string  `json:"ops"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	baseURL := flag.String("url", "http://127.0.0.1:8080", "oracle base URL")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	keys := flag.Int("keys", 64, "size of the parameter-point universe")
+	skew := flag.Float64("skew", 1.2, "zipf exponent s > 1 (larger = hotter hot set)")
+	kmax := flag.Int("kmax", 400, "largest horizon / depth-search bound")
+	ops := flag.String("ops", "cell,curve,failure,depth,bracket", "comma-separated op mix")
+	seed := flag.Int64("seed", 1, "key-universe and traffic seed")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if *concurrency < 1 || *keys < 1 || *skew <= 1 || *kmax < 2 {
+		log.Fatalf("invalid flags: concurrency=%d keys=%d skew=%v kmax=%d", *concurrency, *keys, *skew, *kmax)
+	}
+	opList := strings.Split(*ops, ",")
+	universe := makeUniverse(*keys, *seed)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		t2 := t.Clone()
+		t2.MaxIdleConnsPerHost = *concurrency
+		client.Transport = t2
+	}
+
+	deadline := time.Now().Add(*duration)
+	results := make([]result, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, *skew, 1, uint64(len(universe)-1))
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				p := universe[zipf.Uint64()]
+				op := opList[rng.Intn(len(opList))]
+				url := queryURL(*baseURL, op, p, rng, *kmax)
+				t0 := time.Now()
+				err := get(client, url)
+				res.latencies = append(res.latencies, time.Since(t0).Seconds())
+				if err != nil {
+					res.errors++
+					if res.firstErr == nil {
+						res.firstErr = fmt.Errorf("%s: %w", url, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	total, errs := 0, 0
+	var firstErr error
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		total += len(results[i].latencies)
+		errs += results[i].errors
+		if firstErr == nil {
+			firstErr = results[i].firstErr
+		}
+	}
+	sort.Float64s(all)
+	s := summary{
+		URL:         *baseURL,
+		DurationSec: elapsed.Seconds(),
+		Concurrency: *concurrency,
+		Keys:        *keys,
+		Skew:        *skew,
+		Ops:         *ops,
+		Requests:    total,
+		Errors:      errs,
+		P50MS:       percentile(all, 0.50) * 1e3,
+		P90MS:       percentile(all, 0.90) * 1e3,
+		P99MS:       percentile(all, 0.99) * 1e3,
+		MaxMS:       percentile(all, 1) * 1e3,
+	}
+	if elapsed > 0 {
+		s.QPS = float64(total) / elapsed.Seconds()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("%d requests in %.2fs (%d workers, %d keys, zipf %.2f): %.0f qps\n",
+			s.Requests, s.DurationSec, s.Concurrency, s.Keys, s.Skew, s.QPS)
+		fmt.Printf("latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  errors %d\n",
+			s.P50MS, s.P90MS, s.P99MS, s.MaxMS, s.Errors)
+	}
+
+	// Smoke contract: CI asserts non-zero throughput and an error-free run
+	// through the exit status.
+	if total == 0 {
+		log.Fatal("no request completed")
+	}
+	if errs > 0 {
+		log.Fatalf("%d/%d requests failed; first: %v", errs, total, firstErr)
+	}
+}
+
+// makeUniverse draws the deterministic parameter-point universe: α and
+// honest fraction on the oracle's basis-point grid, consistency-feasible.
+func makeUniverse(n int, seed int64) []point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]point, n)
+	for i := range pts {
+		alpha := float64(100+rng.Intn(4801)) / 1e4 // [0.01, 0.49] in bp steps
+		frac := float64(100+rng.Intn(9901)) / 1e4  // [0.01, 1.00]
+		pts[i] = point{alpha: alpha, frac: frac}
+	}
+	return pts
+}
+
+// queryURL builds one request against the point. Horizons are drawn hot:
+// most queries reuse the deepest horizon so cached curves serve them
+// without extension, a spread of shallower ones reads the same curve.
+func queryURL(base, op string, p point, rng *rand.Rand, kmax int) string {
+	k := kmax
+	if rng.Intn(4) == 0 {
+		k = 1 + rng.Intn(kmax)
+	}
+	switch op {
+	case "depth":
+		// Targets must be reachable inside the search bound: the certified
+		// failure bound decays at Ω(min(ǫ³, ǫ²ph)) per slot, so points near
+		// α = 1/2 need k ~ 10⁶ for small targets. Pick per α band; past
+		// 0.40 a depth search this size cannot certify anything useful, so
+		// fall through to the point query instead.
+		if p.alpha <= 0.40 {
+			target := "1e-2"
+			if p.alpha <= 0.30 {
+				target = []string{"1e-4", "1e-6"}[rng.Intn(2)]
+			}
+			return fmt.Sprintf("%s/v1/depth?alpha=%g&frac=%g&target=%s&kmax=%d", base, p.alpha, p.frac, target, max(16*kmax, 3200))
+		}
+	case "curve":
+		return fmt.Sprintf("%s/v1/curve?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+	case "failure":
+		return fmt.Sprintf("%s/v1/failure?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+	case "bracket":
+		return fmt.Sprintf("%s/v1/bracket?alpha=%g&frac=%g&k=%d&tau=1e-30", base, p.alpha, p.frac, k)
+	}
+	return fmt.Sprintf("%s/v1/cell?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+}
+
+// get issues one request, draining the body so connections are reused.
+// 422 (target_unreachable) is a valid semantic answer for depth queries
+// at slow-decay parameter points, not a service failure.
+func get(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from sorted samples (q = 1 is the max).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,80 @@
+// Command serve runs the settlement oracle as an HTTP JSON service: the
+// repo's confirmation-depth, settlement-curve, bracket and Table-1 cell
+// computations answered online from a concurrent cache of live lattice
+// curves (internal/oracle). A hot parameter point costs one DP build ever;
+// deeper queries pay only the incremental curve extension.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-cache 1024] [-workers 0]
+//
+// Endpoints (see internal/oracle.Server):
+//
+//	GET  /v1/depth?alpha=0.25&frac=0.5&target=1e-6&kmax=4096
+//	GET  /v1/curve?alpha=0.25&frac=0.5&k=200
+//	GET  /v1/failure?alpha=0.25&ph=0.375&k=200
+//	GET  /v1/cell?alpha=0.30&frac=0.25&k=400
+//	GET  /v1/bracket?alpha=0.25&frac=0.5&k=200&tau=1e-30
+//	POST /v1/batch              {"queries":[{"op":"cell",...},...]}
+//	GET  /healthz
+//	GET  /debug/vars            expvar: cache hits/misses, coalesced waits,
+//	                            build/extend latency, resident curve bytes
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0 (clean shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multihonest/internal/oracle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", oracle.DefaultMaxEntries, "curve cache capacity (parameter points)")
+	workers := flag.Int("workers", 0, "batch executor pool size (0 = all CPUs)")
+	flag.Parse()
+
+	o := oracle.New(*cache)
+	o.Publish("oracle")
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           oracle.NewServer(o, *workers).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("settlement oracle listening on %s (cache %d entries)", *addr, *cache)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("caught %v; draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	st := o.Stats()
+	log.Printf("clean shutdown: %d entries, %d hits, %d misses, %d builds, %d extends",
+		st.Entries, st.Hits, st.Misses, st.Builds, st.Extends)
+}

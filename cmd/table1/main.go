@@ -96,10 +96,15 @@ func main() {
 		for _, frac := range fracs {
 			for _, k := range horizons {
 				for _, alpha := range alphas {
-					key := settlement.MakeKey(frac, k, alpha)
-					cell := jsonCell{HonestFraction: frac, Alpha: alpha, K: k, P: tbl.Cells[key]}
+					p, err := tbl.Lookup(frac, k, alpha)
+					if err != nil {
+						// Unreachable for a grid we just computed; a typed
+						// miss here names the nearest cell we do hold.
+						log.Fatal(err)
+					}
+					cell := jsonCell{HonestFraction: frac, Alpha: alpha, K: k, P: p}
 					if tbl.Upper != nil {
-						u := tbl.Upper[key]
+						u := tbl.Upper[settlement.MakeKey(frac, k, alpha)]
 						cell.Upper = &u
 					}
 					out.Cells = append(out.Cells, cell)

@@ -20,7 +20,10 @@
 //     pluggable adversaries (chainsim),
 //   - a parallel Monte-Carlo engine with deterministic RNG sharding
 //     (runner) and the experiment harnesses built on it (mc, stats),
-//   - and a high-level facade (core).
+//   - a high-level facade (core),
+//   - and a concurrent settlement-oracle service with a coalesced cache of
+//     live DP curves (oracle), served over HTTP by cmd/serve and measured
+//     under zipfian load by cmd/loadgen.
 //
 // The root package re-exports the facade so downstream users can depend on
 // a single import path; see README.md for a tour, DESIGN.md for the

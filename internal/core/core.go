@@ -7,19 +7,33 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"multihonest/internal/catalan"
 	"multihonest/internal/charstring"
 	"multihonest/internal/gf"
+	"multihonest/internal/lattice"
 	"multihonest/internal/margin"
 	"multihonest/internal/settlement"
 )
 
 // Analyzer answers consistency questions for one parameter point of the
 // (ǫ, ph)-Bernoulli leader-election law. Construct with New.
+//
+// An Analyzer is safe for concurrent use: the only mutable state is the
+// cache of upper-bound curves behind ConfirmationDepth, and it is guarded
+// by a mutex held across each doubling search (concurrent depth queries on
+// one Analyzer serialize; every other method is read-only after
+// construction and runs fully in parallel). Services that need concurrent
+// depth queries to *share* DP work across goroutines and parameter points
+// with finer locking should hand the curves to internal/oracle, whose
+// per-entry locks are built for that.
 type Analyzer struct {
 	params charstring.Params
 	comp   *settlement.Computer
+
+	mu    sync.Mutex             // guards upper
+	upper map[int]*lattice.Curve // saturation cap → cached upper-bound curve
 }
 
 // New returns an Analyzer for adversarial-slot probability alpha = pA and
@@ -59,33 +73,48 @@ func (a *Analyzer) SettlementCurve(k int) ([]float64, error) {
 // The certificate is the rigorous upper bound of settlement.UpperCurve
 // (exact up to a slack below target/100), so the returned depth is safe and
 // at most negligibly conservative. The doubling search extends one cached
-// incremental curve, so every lattice step is taken exactly once however
-// deep the search goes — large kmax stays cheap, unlike the O(k³) exact DP.
+// incremental curve per saturation cap — retained across calls and guarded
+// by the Analyzer mutex — so every lattice step is taken exactly once
+// however deep any sequence of searches goes: large kmax stays cheap,
+// unlike the O(k³) exact DP, and a second query at the same target is pure
+// readout. Extension is deterministic, so the cached answer is
+// byte-identical to a cold search.
 func (a *Analyzer) ConfirmationDepth(target float64, kmax int) (int, error) {
-	if target <= 0 || target >= 1 {
+	if !(target > 0 && target < 1) { // positive form also rejects NaN
 		return 0, fmt.Errorf("core: target %v outside (0,1)", target)
 	}
 	if kmax < 1 {
 		return 0, fmt.Errorf("core: kmax %d must be ≥ 1", kmax)
 	}
-	cv := a.comp.UpperCurve(a.comp.CapForTarget(target))
-	scanned := 0
-	for span := min(256, kmax); ; span = min(span*2, kmax) {
-		if err := cv.Extend(span); err != nil {
-			return 0, err
+	cap := a.comp.CapForTarget(target)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cv, ok := a.upper[cap]
+	if !ok {
+		if a.upper == nil {
+			a.upper = make(map[int]*lattice.Curve)
 		}
-		for k := scanned + 1; k <= span; k++ {
-			if cv.Upper(k) <= target {
-				return k, nil
+		// Bound the per-cap cache: each retained curve is O(cap²) resident,
+		// and a lifetime of distinct targets would otherwise accrete one per
+		// target magnitude. Past the bound an arbitrary cached cap is
+		// dropped and rebuilt on demand (same policy as internal/oracle).
+		if len(a.upper) >= maxUpperCurves {
+			for c := range a.upper {
+				delete(a.upper, c)
+				break
 			}
 		}
-		scanned = span
-		if span == kmax {
-			break
-		}
+		cv = a.comp.UpperCurve(cap)
+		a.upper[cap] = cv
 	}
-	return 0, fmt.Errorf("core: failure bound %.3g at k=%d still above target %.3g", cv.Upper(kmax), kmax, target)
+	return settlement.DepthSearch(func(k int) (*lattice.Curve, error) {
+		return cv, cv.Extend(k)
+	}, target, kmax)
 }
+
+// maxUpperCurves bounds Analyzer's cache of upper-bound curves (one per
+// distinct saturation cap).
+const maxUpperCurves = 8
 
 // SettlementBracket returns a rigorous bracket [lower, upper] containing
 // the exact settlement-failure probability at horizon k, computed with

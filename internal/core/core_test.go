@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"multihonest/internal/charstring"
@@ -139,5 +141,71 @@ func TestConfirmationDepthIncrementalEquivalence(t *testing.T) {
 			t.Errorf("α=%v ph=%v target=%g: incremental depth %d != direct scan %d",
 				tc.alpha, tc.ph, tc.target, got, want)
 		}
+	}
+}
+
+// TestAnalyzerConcurrentUse hammers one Analyzer from many goroutines —
+// depth queries at mixed targets (hitting and sharing the guarded
+// upper-curve cache, including its lazy construction) interleaved with the
+// read-only query surface. Run under -race this pins the Analyzer's
+// concurrency contract; the answers must also all equal the serial ones.
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	a, err := New(0.25, 0.375)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []float64{1e-4, 1e-6, 1e-9}
+	ref, err := New(0.25, 0.375) // fresh analyzer for the serial reference answers
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth := make([]int, len(targets))
+	for i, target := range targets {
+		if wantDepth[i], err = ref.ConfirmationDepth(target, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantP, err := ref.SettlementFailure(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				target := targets[(w+i)%len(targets)]
+				k, err := a.ConfirmationDepth(target, 4096)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if want := wantDepth[(w+i)%len(targets)]; k != want {
+					errc <- fmt.Errorf("worker %d: depth(%g) = %d, serial %d", w, target, k, want)
+					return
+				}
+				if i == 0 {
+					p, err := a.SettlementFailure(50)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if p != wantP {
+						errc <- fmt.Errorf("worker %d: failure %g, serial %g", w, p, wantP)
+						return
+					}
+					a.Regime()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -20,6 +20,20 @@ type Builder func(kCap int) (*Engine, error)
 // the largest horizon) extension past the built capacity rebuilds with at
 // least doubled capacity and replays, so total work stays within 2× of a
 // single sweep to the final horizon.
+//
+// # Concurrency contract
+//
+// A Curve is NOT safe for unguarded concurrent use: Extend mutates the
+// cached engine and readout slices, and the readers (Lower, Upper, Values,
+// ValuesUpTo, Len, MemBytes) observe them without synchronization. The
+// contract for a shared curve is single-owner locking: exactly one lock
+// guards both Extend and every read of the same handle. Extension is
+// idempotent (Extend(k) with k ≤ Len() touches nothing) and deterministic
+// (the value at horizon t is byte-identical however Extend calls were
+// batched on the way to t), so serialized extend-then-read under one lock
+// yields answers identical to a private cold build — this is the property
+// internal/oracle relies on when it extends hot cached curves in place
+// under per-entry locks.
 type Curve struct {
 	build Builder
 	fixed bool
@@ -99,4 +113,25 @@ func (c *Curve) Values() []float64 {
 	out := make([]float64, len(c.lower))
 	copy(out, c.lower)
 	return out
+}
+
+// ValuesUpTo returns a copy of the lower curve for horizons 1..k, which
+// must satisfy k ≤ Len(). Readers that share a curve take copies so that a
+// later in-place Extend by the owning lock holder never aliases data a
+// previous caller is still reading.
+func (c *Curve) ValuesUpTo(k int) []float64 {
+	out := make([]float64, k)
+	copy(out, c.lower[:k])
+	return out
+}
+
+// MemBytes returns the resident heap footprint of the handle: the readout
+// slices plus the cached engine's buffers. Cache owners (internal/oracle)
+// use it to account resident curve bytes per entry.
+func (c *Curve) MemBytes() int64 {
+	n := int64(cap(c.lower)+cap(c.drop)) * 8
+	if c.eng != nil {
+		n += c.eng.MemBytes()
+	}
+	return n
 }

@@ -194,6 +194,13 @@ func (e *Engine) Add(r, s int, mass float64) {
 // Steps returns how many steps have been taken.
 func (e *Engine) Steps() int { return e.steps }
 
+// MemBytes returns the heap footprint of the engine's grid and window
+// buffers — the dominant cost of keeping a chain resident in a cache.
+func (e *Engine) MemBytes() int64 {
+	return int64(cap(e.cur)+cap(e.next))*8 +
+		int64(cap(e.lo)+cap(e.hi)+cap(e.nLo)+cap(e.nHi))*8
+}
+
 // Dropped returns the cumulative pruned mass (the ledger). It is exactly
 // zero in exact mode (τ = 0).
 func (e *Engine) Dropped() float64 { return e.dropped }

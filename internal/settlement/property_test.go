@@ -1,8 +1,10 @@
 package settlement
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"multihonest/internal/charstring"
@@ -176,13 +178,45 @@ func TestTableKeyTolerance(t *testing.T) {
 	if alpha == 0.30 {
 		t.Fatal("expected 0.1*3 to differ from 0.30 in float64")
 	}
-	v, ok := tbl.Lookup(frac, 40, alpha)
-	if !ok {
-		t.Fatalf("tolerant lookup missed cell (frac=%.17g, α=%.17g)", frac, alpha)
+	v, err := tbl.Lookup(frac, 40, alpha)
+	if err != nil {
+		t.Fatalf("tolerant lookup missed cell (frac=%.17g, α=%.17g): %v", frac, alpha, err)
 	}
 	want, _ := tbl.Lookup(0.25, 40, 0.30)
 	if v != want {
 		t.Fatalf("lookup returned %v, want %v", v, want)
+	}
+}
+
+// TestTableLookupMiss: a miss is a typed *ErrCellNotFound naming the
+// nearest computed cell, not a bare zero.
+func TestTableLookupMiss(t *testing.T) {
+	tbl, err := ComputeTable1([]float64{0.30}, []float64{0.25}, []int{40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tbl.Lookup(0.26, 45, 0.31)
+	if err == nil {
+		t.Fatal("lookup off the grid must miss")
+	}
+	var miss *ErrCellNotFound
+	if !errors.As(err, &miss) {
+		t.Fatalf("miss error has type %T, want *ErrCellNotFound", err)
+	}
+	if miss.Empty {
+		t.Error("miss against a non-empty table flagged Empty")
+	}
+	if want := MakeKey(0.25, 40, 0.30); miss.Nearest != want {
+		t.Errorf("nearest = %+v, want %+v", miss.Nearest, want)
+	}
+	if !strings.Contains(err.Error(), "nearest computed cell") {
+		t.Errorf("miss message %q does not name the nearest cell", err)
+	}
+
+	empty := &Table{Cells: map[Key]float64{}}
+	_, err = empty.Lookup(0.5, 10, 0.1)
+	if !errors.As(err, &miss) || !miss.Empty {
+		t.Errorf("empty-table miss = %v, want Empty *ErrCellNotFound", err)
 	}
 }
 

@@ -57,12 +57,61 @@ type Table struct {
 	Tau   float64
 }
 
+// ErrCellNotFound reports a Table.Lookup miss: the requested cell is not
+// in the computed grid. Nearest carries the closest computed key (by
+// basis-point distance on the (frac, α) plane plus horizon distance) so
+// the message tells the caller what the table *does* hold; Nearest is the
+// zero Key when the table is empty. Match with errors.As:
+//
+//	var miss *settlement.ErrCellNotFound
+//	if errors.As(err, &miss) { ... miss.Nearest ... }
+type ErrCellNotFound struct {
+	Key     Key // the key that missed
+	Nearest Key // closest computed cell (zero when the table is empty)
+	Empty   bool
+}
+
+func (e *ErrCellNotFound) Error() string {
+	if e.Empty {
+		return fmt.Sprintf("settlement: cell (frac=%.4f, k=%d, α=%.4f) not found: table is empty",
+			e.Key.HonestFraction(), e.Key.K, e.Key.Alpha())
+	}
+	return fmt.Sprintf("settlement: cell (frac=%.4f, k=%d, α=%.4f) not found; nearest computed cell is (frac=%.4f, k=%d, α=%.4f)",
+		e.Key.HonestFraction(), e.Key.K, e.Key.Alpha(),
+		e.Nearest.HonestFraction(), e.Nearest.K, e.Nearest.Alpha())
+}
+
 // Lookup returns the cell value for parameters within half a basis point of
 // a computed cell — the tolerant accessor for computed (not literal)
-// coordinates.
-func (t *Table) Lookup(frac float64, k int, alpha float64) (float64, bool) {
-	v, ok := t.Cells[MakeKey(frac, k, alpha)]
-	return v, ok
+// coordinates. A miss returns a *ErrCellNotFound naming the nearest
+// computed cell instead of a bare zero.
+func (t *Table) Lookup(frac float64, k int, alpha float64) (float64, error) {
+	key := MakeKey(frac, k, alpha)
+	if v, ok := t.Cells[key]; ok {
+		return v, nil
+	}
+	miss := &ErrCellNotFound{Key: key, Empty: len(t.Cells) == 0}
+	best := int64(-1)
+	for have := range t.Cells {
+		d := cellDistance(key, have)
+		if best < 0 || d < best {
+			best, miss.Nearest = d, have
+		}
+	}
+	return 0, miss
+}
+
+// cellDistance is the Manhattan distance between cells in basis points,
+// with the horizon axis scaled so that one slot of k counts like one basis
+// point (close enough for a diagnostic "nearest" hint).
+func cellDistance(a, b Key) int64 {
+	abs := func(v int) int64 {
+		if v < 0 {
+			return int64(-v)
+		}
+		return int64(v)
+	}
+	return abs(a.FracBP-b.FracBP) + abs(a.AlphaBP-b.AlphaBP) + abs(a.K-b.K)
 }
 
 // ComputeTable1 regenerates the paper's Table 1: for each (α, fraction)
@@ -180,8 +229,8 @@ func (t *Table) Format() string {
 		for _, k := range ks {
 			fmt.Fprintf(&b, "%-12.2f %-5d", f, k)
 			for _, a := range alphas {
-				v, ok := t.Lookup(f, k, a)
-				if !ok {
+				v, err := t.Lookup(f, k, a)
+				if err != nil {
 					fmt.Fprintf(&b, " %12s", "-")
 					continue
 				}

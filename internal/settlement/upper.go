@@ -1,8 +1,11 @@
 package settlement
 
 import (
+	"errors"
 	"fmt"
 	"math"
+
+	"multihonest/internal/lattice"
 )
 
 // ViolationCurveUpper returns a rigorous upper bound on the violation
@@ -35,6 +38,49 @@ func (c *Computer) ViolationCurveUpper(k, cap int) ([]float64, error) {
 		out[t-1] = math.Min(cv.Lower(t), 1)
 	}
 	return out, nil
+}
+
+// ErrTargetUnreachable reports that a depth search exhausted its kmax
+// with the certified failure bound still above the target — a legitimate
+// outcome for slow-decay parameter points (the rate is Ω(min(ǫ³, ǫ²ph))),
+// not a malformed query. Callers distinguish it with errors.Is; the
+// oracle's HTTP layer maps it to its own status code.
+var ErrTargetUnreachable = errors.New("settlement: target unreachable within kmax")
+
+// DepthSearch is the doubling confirmation-depth search shared by
+// core.Analyzer and the oracle service: the smallest k ≤ kmax whose
+// certified upper bound (Curve.Upper over a saturating upper-bound chain)
+// is at most target. extend(k) must return the — possibly cached — upper
+// curve with every horizon 1..k available; the search calls it with a
+// doubling sequence of horizons, so an incrementally extensible curve pays
+// every lattice step exactly once however deep the search goes. When even
+// kmax does not reach the target it returns an error wrapping
+// ErrTargetUnreachable.
+func DepthSearch(extend func(k int) (*lattice.Curve, error), target float64, kmax int) (int, error) {
+	if !(target > 0 && target < 1) { // positive form also rejects NaN
+		return 0, fmt.Errorf("settlement: target %v outside (0,1)", target)
+	}
+	if kmax < 1 {
+		return 0, fmt.Errorf("settlement: kmax %d must be ≥ 1", kmax)
+	}
+	scanned := 0
+	var cv *lattice.Curve
+	for span := min(256, kmax); ; span = min(span*2, kmax) {
+		var err error
+		if cv, err = extend(span); err != nil {
+			return 0, err
+		}
+		for k := scanned + 1; k <= span; k++ {
+			if cv.Upper(k) <= target {
+				return k, nil
+			}
+		}
+		scanned = span
+		if span == kmax {
+			break
+		}
+	}
+	return 0, fmt.Errorf("%w: failure bound %.3g at k=%d still above target %.3g", ErrTargetUnreachable, cv.Upper(kmax), kmax, target)
 }
 
 // CapForTarget returns a saturation cap making the upper bound's slack
