@@ -22,6 +22,7 @@ import (
 	"multihonest/internal/leader"
 	"multihonest/internal/mc"
 	"multihonest/internal/oracle"
+	"multihonest/internal/rare"
 	"multihonest/internal/runner"
 	"multihonest/internal/settlement"
 )
@@ -173,6 +174,49 @@ func benchMCPair(b *testing.B, stream bool) {
 			b.ReportMetric(float64(est.N)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 		})
 	}
+}
+
+// BenchmarkRareTilted: the margin-conditioned importance-sampling engine
+// at a fixed deep point (α = 0.15, k = 110, p ≈ 5e-11 — unreachable for
+// the plain engines above, which would need ~2e10 samples). One iteration
+// is a fixed 200k-sample weighted job; samples/s measures the fused
+// weighted loop's throughput.
+func BenchmarkRareTilted(b *testing.B) {
+	p := charstring.MustParams(1-2*0.15, 0.45)
+	const k, n = 110, 200_000
+	b.ReportAllocs()
+	var r rare.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = rare.SettlementTilted(p, k, rare.Options{Theta: 0.55, N: n, MaxRounds: 1, Seed: 7, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.N)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	once(b, "rare-tilt", func() {
+		fmt.Printf("# rare tilted: %v at α=0.15 k=%d (DP ≈ 5.2e-11)\n", r.WeightedEstimate, k)
+	})
+}
+
+// BenchmarkRareSplit: the fixed-effort splitting engine at the same deep
+// point; one iteration is a fixed 64-replicate cascade.
+func BenchmarkRareSplit(b *testing.B) {
+	p := charstring.MustParams(1-2*0.15, 0.45)
+	const k = 110
+	b.ReportAllocs()
+	var r rare.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = rare.SettlementSplit(p, k, rare.SplitConfig{Seed: 7, Particles: 512, Replicates: 64, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Trajectories)*float64(b.N)/b.Elapsed().Seconds(), "trajectories/s")
+	once(b, "rare-split", func() {
+		fmt.Printf("# rare split: %v at α=0.15 k=%d (DP ≈ 5.2e-11)\n", r.WeightedEstimate, k)
+	})
 }
 
 // BenchmarkMCStream: the fused streaming engine (production path).

@@ -1,27 +1,53 @@
 // Command forkviz reproduces the paper's fork figures as machine-checked
-// structures and renders them (ASCII by default, Graphviz DOT with -dot):
+// structures and renders them (ASCII by default, Graphviz DOT with -dot,
+// one machine-readable JSON document with -json):
 //
 //	forkviz -fig 1        Figure 1: fork for w = hAhAhHAAH with concurrent leaders
 //	forkviz -fig 2        Figure 2: balanced fork for w = hAhAhA
 //	forkviz -fig 3        Figure 3: x-balanced fork for w = hhhAhA, x = hh
 //	forkviz -w hAAhH      canonical fork built by A* for an arbitrary string
+//	forkviz -fig 1 -json  the same fork as vertices/edges JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"multihonest/internal/adversary"
 	"multihonest/internal/charstring"
 	"multihonest/internal/fork"
 )
 
+// jsonVertex is one fork vertex in the -json document.
+type jsonVertex struct {
+	ID     int  `json:"id"`
+	Slot   int  `json:"slot"` // 0 for the root
+	Parent *int `json:"parent,omitempty"`
+	Depth  int  `json:"depth"`
+	Honest bool `json:"honest"`
+}
+
+// jsonOutput is the -json document: the fork's string, summary facts and
+// full vertex list — the same structure the ASCII and DOT renderings draw,
+// in the machine-readable form the other CLIs already offer.
+type jsonOutput struct {
+	Title    string       `json:"title"`
+	String   string       `json:"string"`
+	Height   int          `json:"height"`
+	Closed   bool         `json:"closed"`
+	Balanced bool         `json:"balanced"`
+	Vertices []jsonVertex `json:"vertices"`
+}
+
 func main() {
 	log.SetFlags(0)
 	fig := flag.Int("fig", 0, "paper figure to reproduce (1, 2 or 3)")
 	wArg := flag.String("w", "", "characteristic string for an A* canonical fork")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of a rendering")
 	flag.Parse()
 
 	var f *fork.Fork
@@ -50,6 +76,31 @@ func main() {
 	}
 	if err := f.Validate(); err != nil {
 		log.Fatalf("internal error: fork invalid: %v", err)
+	}
+	if *asJSON {
+		out := jsonOutput{
+			Title:  title,
+			String: f.String().String(),
+			Height: f.Height(),
+			Closed: f.IsClosed(),
+		}
+		if f.IsClosed() {
+			out.Balanced = f.IsBalanced()
+		}
+		for _, v := range f.Vertices() {
+			jv := jsonVertex{ID: v.ID(), Slot: v.Label(), Depth: v.Depth(), Honest: f.Honest(v)}
+			if !v.IsRoot() {
+				pid := v.Parent().ID()
+				jv.Parent = &pid
+			}
+			out.Vertices = append(out.Vertices, jv)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	fmt.Println(title)
 	fmt.Printf("string: %s   height: %d   closed: %v\n\n", f.String(), f.Height(), f.IsClosed())

@@ -1,0 +1,253 @@
+// Command rare certifies deep-tail settlement probabilities: it runs the
+// two rare-event engines of internal/rare — exponential tilting and
+// multilevel splitting — against the lattice DP's rigorous
+// [lower, lower+dropped] bracket for a settlement point or a Table 1
+// cell, and prints each estimate ± its 95% interval next to the bracket
+// with an agree/disagree verdict. For Δ-synchronous points no DP exists,
+// so the two engines cross-check each other instead.
+//
+// Usage:
+//
+//	rare -alpha 0.15 -ph 0.45 -k 110            # settlement point vs DP bracket
+//	rare -cell 0.9/0.30/400                     # Table 1 cell (frac/alpha/k)
+//	rare -alpha 0.25 -ph 0.50 -k 40 -delta 2 -f 0.2 -s 8   # Δ-synchronous, engines cross-check
+//	rare -alpha 0.15 -ph 0.45 -k 110 -json
+//
+// The exit status encodes the verdict: 0 when every engine's interval
+// intersects the reference (and the tilted ESS is non-zero), 1 on any
+// disagreement — which is what the CI smoke asserts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/rare"
+	"multihonest/internal/settlement"
+)
+
+// engineOut is one engine's JSON block.
+type engineOut struct {
+	Engine    string  `json:"engine"`
+	P         float64 `json:"p"`
+	SE        float64 `json:"se"`
+	Lo        float64 `json:"ci95_lo"`
+	Hi        float64 `json:"ci95_hi"`
+	ESS       float64 `json:"ess"`
+	Hits      int     `json:"hits"`
+	N         int     `json:"n"`
+	Theta     float64 `json:"theta,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	Levels    int     `json:"levels,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Agree     bool    `json:"agree"`
+}
+
+// jsonOutput is the whole document.
+type jsonOutput struct {
+	Alpha     float64     `json:"alpha"`
+	Ph        float64     `json:"ph"`
+	K         int         `json:"k"`
+	Delta     *int        `json:"delta,omitempty"`
+	F         *float64    `json:"f,omitempty"`    // Δ mode: activity rate
+	S         *int        `json:"s,omitempty"`    // Δ mode: target slot
+	Tail      *int        `json:"tail,omitempty"` // Δ mode: reduced-slot tail
+	Tau       float64     `json:"tau,omitempty"`
+	DPLower   *float64    `json:"dp_lower,omitempty"`
+	DPUpper   *float64    `json:"dp_upper,omitempty"`
+	DPMS      *float64    `json:"dp_elapsed_ms,omitempty"`
+	Engines   []engineOut `json:"engines"`
+	Agree     bool        `json:"agree"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+func main() {
+	log.SetFlags(0)
+	alpha := flag.Float64("alpha", 0.15, "adversarial slot probability α = Pr[A]")
+	ph := flag.Float64("ph", 0.45, "uniquely honest slot probability Pr[h]")
+	k := flag.Int("k", 110, "settlement horizon (slots)")
+	cell := flag.String("cell", "", "Table 1 cell as frac/alpha/k (e.g. 0.9/0.30/400); overrides -alpha/-ph/-k")
+	delta := flag.Int("delta", -1, "if ≥ 0, estimate the Δ-synchronous unsettlement event instead (no DP reference)")
+	f := flag.Float64("f", 0.2, "Δ mode: per-slot activity rate (Pr[any leader])")
+	s := flag.Int("s", 8, "Δ mode: target slot")
+	tail := flag.Int("tail", 100, "Δ mode: extra reduced-slot tail beyond the certificate window")
+	tau := flag.Float64("tau", 1e-40, "DP pruning threshold for the reference bracket (0 = exact)")
+	theta := flag.Float64("theta", 0, "tilt parameter (0 = automatic pilot selection)")
+	n := flag.Int("n", 0, "tilted samples per round (0 = default)")
+	rounds := flag.Int("rounds", 120, "maximum stopping-rule rounds")
+	relerr := flag.Float64("relerr", 0.06, "target relative standard error")
+	ess := flag.Float64("ess", 1000, "minimum effective sample size before stopping")
+	particles := flag.Int("split-particles", 0, "splitting particles per stage (0 = default)")
+	replicates := flag.Int("split-replicates", 0, "splitting replicates (0 = default)")
+	engines := flag.String("engines", "tilt,split", "comma-separated engines to run")
+	seed := flag.Int64("seed", 1, "deterministic job seed")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = all CPUs)")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document")
+	flag.Parse()
+
+	if *cell != "" {
+		frac, a, kk, err := parseCell(*cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*alpha, *ph, *k = a, frac*(1-a), kk
+	}
+	start := time.Now()
+	out := jsonOutput{Alpha: *alpha, Ph: *ph, K: *k}
+	text := !*asJSON
+
+	opt := rare.Options{
+		Theta: *theta, N: *n, MaxRounds: *rounds, RelErr: *relerr, MinESS: *ess,
+		Seed: *seed, Workers: *workers,
+	}
+	scfg := rare.SplitConfig{Particles: *particles, Replicates: *replicates, Seed: *seed, Workers: *workers}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*engines, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+
+	// Reference: the DP bracket (synchronous mode only).
+	var refLo, refHi float64
+	haveRef := false
+	if *delta < 0 {
+		p, err := charstring.ParamsFromAlpha(*alpha, *ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dpStart := time.Now()
+		lo, hi, err := settlement.New(p).ViolationBracket(*k, *tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dpMS := float64(time.Since(dpStart).Microseconds()) / 1e3
+		refLo, refHi, haveRef = lo, hi, true
+		out.Tau, out.DPLower, out.DPUpper, out.DPMS = *tau, &lo, &hi, &dpMS
+		if text {
+			fmt.Printf("point: α=%.4f ph=%.4f k=%d (stationary settlement)\n", *alpha, *ph, *k)
+			fmt.Printf("DP bracket (τ=%.2g): [%.6e, %.6e]  (%.1f ms)\n", *tau, lo, hi, dpMS)
+		}
+	} else {
+		out.Delta, out.F, out.S, out.Tail = delta, f, s, tail
+		if text {
+			fmt.Printf("point: α=%.4f ph=%.4f k=%d Δ=%d f=%.3f s=%d (Δ-synchronous, no DP reference; engines cross-check)\n",
+				*alpha, *ph, *k, *delta, *f, *s)
+		}
+	}
+
+	run := func(name string, est func() (rare.Result, error)) {
+		if !want[name] {
+			return
+		}
+		t0 := time.Now()
+		r, err := est()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1e3
+		eo := engineOut{
+			Engine: name, P: r.P, SE: r.SE, Lo: r.Lo, Hi: r.Hi, ESS: r.ESS,
+			Hits: r.Hits, N: r.N, Theta: r.Theta, Rounds: r.Rounds, Levels: r.Levels,
+			ElapsedMS: ms,
+		}
+		out.Engines = append(out.Engines, eo)
+		if text {
+			extra := fmt.Sprintf("levels=%d", r.Levels)
+			if name == "tilt" {
+				extra = fmt.Sprintf("θ=%.3f rounds=%d", r.Theta, r.Rounds)
+			}
+			fmt.Printf("%-5s: %v  %s  (%.2fs)\n", name, r.WeightedEstimate, extra, ms/1e3)
+		}
+	}
+
+	if *delta < 0 {
+		p, err := charstring.ParamsFromAlpha(*alpha, *ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run("tilt", func() (rare.Result, error) { return rare.SettlementTilted(p, *k, opt) })
+		run("split", func() (rare.Result, error) { return rare.SettlementSplit(p, *k, scfg) })
+	} else {
+		sp, err := charstring.NewSemiSyncParams(1-*f, *ph**f, (1-*alpha-*ph)**f, *alpha**f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run("tilt", func() (rare.Result, error) {
+			return rare.DeltaUnsettledTilted(sp, *delta, *s, *k, *tail, opt)
+		})
+		run("split", func() (rare.Result, error) {
+			return rare.DeltaUnsettledSplit(sp, *delta, *s, *k, *tail, scfg)
+		})
+	}
+	if len(out.Engines) == 0 {
+		log.Fatalf("no engines selected from %q", *engines)
+	}
+
+	// Verdict: every engine interval must intersect the reference — the
+	// DP bracket when one exists, otherwise the other engines' intervals.
+	agreeAll := true
+	for i := range out.Engines {
+		e := &out.Engines[i]
+		if haveRef {
+			e.Agree = e.Lo <= refHi && e.Hi >= refLo
+		} else {
+			e.Agree = true
+			for j := range out.Engines {
+				if j != i && (e.Lo > out.Engines[j].Hi || e.Hi < out.Engines[j].Lo) {
+					e.Agree = false
+				}
+			}
+		}
+		if e.Engine == "tilt" && e.ESS <= 0 {
+			e.Agree = false
+		}
+		agreeAll = agreeAll && e.Agree
+		if text {
+			verdict := "AGREE"
+			if !e.Agree {
+				verdict = "DISAGREE"
+			}
+			fmt.Printf("%-5s: %s\n", e.Engine, verdict)
+		}
+	}
+	out.Agree = agreeAll
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	if text {
+		fmt.Printf("verdict: %s (%.2fs)\n", map[bool]string{true: "AGREE", false: "DISAGREE"}[agreeAll], out.ElapsedMS/1e3)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !agreeAll {
+		os.Exit(1)
+	}
+}
+
+// parseCell parses a Table 1 cell coordinate frac/alpha/k.
+func parseCell(cell string) (frac, alpha float64, k int, err error) {
+	parts := strings.Split(cell, "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("rare: cell %q is not frac/alpha/k", cell)
+	}
+	if frac, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("rare: bad cell fraction %q: %v", parts[0], err)
+	}
+	if alpha, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("rare: bad cell alpha %q: %v", parts[1], err)
+	}
+	if k, err = strconv.Atoi(parts[2]); err != nil {
+		return 0, 0, 0, fmt.Errorf("rare: bad cell horizon %q: %v", parts[2], err)
+	}
+	key := settlement.MakeKey(frac, k, alpha)
+	return key.HonestFraction(), key.Alpha(), k, nil
+}

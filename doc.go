@@ -20,6 +20,9 @@
 //     pluggable adversaries (chainsim),
 //   - a parallel Monte-Carlo engine with deterministic RNG sharding
 //     (runner) and the experiment harnesses built on it (mc, stats),
+//   - a rare-event estimation subsystem — exponentially tilted importance
+//     sampling and multilevel splitting — certifying the ≤ 1e-10 tail of
+//     the settlement curves against the DP brackets (rare, cmd/rare),
 //   - a high-level facade (core),
 //   - and a concurrent settlement-oracle service with a coalesced cache of
 //     live DP curves (oracle), served over HTTP by cmd/serve and measured

@@ -80,6 +80,17 @@ func (st *Stream) Feed(sym charstring.Symbol) (pushed bool) {
 	return pushed
 }
 
+// CopyFrom overwrites st with a snapshot of src, reusing st's candidate
+// capacity. The Filter is shared, not cloned: filters are stateless
+// configuration by contract. It exists for the splitting engine of
+// package rare, which clones mid-string scanner states when particles are
+// resampled at a level crossing.
+func (st *Stream) CopyFrom(src *Stream) {
+	st.Filter = src.Filter
+	st.t, st.s, st.min = src.t, src.s, src.min
+	st.cand = append(st.cand[:0], src.cand...)
+}
+
 // Len returns the number of symbols consumed.
 func (st *Stream) Len() int { return st.t }
 

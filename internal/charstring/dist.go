@@ -135,6 +135,17 @@ func (p Params) Thresholds() Thresholds {
 	return Thresholds{a: threshold(pA), ah: threshold(pA + p.Ph)}
 }
 
+// NewThresholds builds a threshold table for an arbitrary synchronous
+// per-slot law (pA, ph, 1−pA−ph) without the Params range checks. It
+// exists for proposal laws that step outside the (ǫ, ph)-Bernoulli cone —
+// chiefly the exponentially tilted laws of package rare, whose
+// variance-optimal tilt pushes pA to ½ and beyond. The cumulative cuts
+// are the same (A | h | H) order as Params.Thresholds, so
+// NewThresholds(p.PA(), p.Ph) is bit-identical to p.Thresholds().
+func NewThresholds(pA, ph float64) Thresholds {
+	return Thresholds{a: threshold(pA), ah: threshold(pA + ph)}
+}
+
 // Symbol maps one raw uniform draw to a symbol of the law.
 func (t Thresholds) Symbol(u uint64) Symbol {
 	if u < t.a {
@@ -204,6 +215,20 @@ func (s SemiSyncParams) Thresholds() SemiSyncThresholds {
 		e:   threshold(s.PEmpty),
 		ea:  threshold(s.PEmpty + s.PA),
 		eah: threshold(s.PEmpty + s.PA + s.Ph),
+	}
+}
+
+// NewSemiSyncThresholds builds a threshold table for an arbitrary
+// quadrivalent per-slot law (p⊥, pA, ph, 1−p⊥−pA−ph) without the
+// SemiSyncParams validation — the semi-synchronous counterpart of
+// NewThresholds, used by the tilted proposal laws of package rare. The
+// cuts follow the same (⊥ | A | h | H) cumulative order as
+// SemiSyncParams.Thresholds.
+func NewSemiSyncThresholds(pEmpty, pA, ph float64) SemiSyncThresholds {
+	return SemiSyncThresholds{
+		e:   threshold(pEmpty),
+		ea:  threshold(pEmpty + pA),
+		eah: threshold(pEmpty + pA + ph),
 	}
 }
 

@@ -167,6 +167,36 @@ func (st *SettledStream) Reset() {
 	st.err = nil
 }
 
+// CopyFrom overwrites st with a snapshot of src (which must have been
+// built with the same (s, k, Δ, T)), reusing scratch capacity. The
+// ReduceStream's Emit callback keeps pointing at st, not src. It exists
+// for the splitting engine of package rare.
+func (st *SettledStream) CopyFrom(src *SettledStream) {
+	st.s, st.k, st.delta = src.s, src.k, src.delta
+	st.rs.Delta, st.rs.T = src.rs.Delta, src.rs.T
+	st.rs.raw = src.rs.raw
+	st.rs.hasPending = src.rs.hasPending
+	st.rs.pendingSym, st.rs.pendingSlot = src.rs.pendingSym, src.rs.pendingSlot
+	st.rs.quietLeft = src.rs.quietLeft
+	st.rs.queue = append(st.rs.queue[:0], src.rs.queue...)
+	st.ri, st.ps, st.S, st.minS = src.ri, src.ps, src.S, src.minS
+	st.cand = append(st.cand[:0], src.cand...)
+	st.err = src.err
+}
+
+// RawLen returns the number of raw symbols consumed.
+func (st *SettledStream) RawLen() int { return st.rs.raw }
+
+// ReducedLen returns the number of reduced symbols emitted so far.
+func (st *SettledStream) ReducedLen() int { return st.ri }
+
+// WindowStart returns the reduced index of slot s, or 0 while slot s has
+// not yet been emitted by the reduction.
+func (st *SettledStream) WindowStart() int { return st.ps }
+
+// LiveCandidates returns the number of certificate candidates still alive.
+func (st *SettledStream) LiveCandidates() int { return len(st.cand) }
+
 // Feed consumes the next raw symbol and reports whether the verdict is
 // already decided (which, before the end of the string, can only be "no
 // certificate exists": a confirmation must survive to the final symbol).

@@ -42,6 +42,30 @@ func StreamConditionedSemiSyncSampler(sp charstring.SemiSyncParams, s int) runne
 	}
 }
 
+// NewSettlementStreamVerdict returns the streaming Table 1 verdict
+// (µ_x(y) ≥ 0 for w = xy, |x| = m, |w| = T) as a reusable
+// runner.StreamVerdict. It is exported for package rare, whose tilted
+// estimator wraps exactly this verdict with a likelihood-ratio
+// accumulator — the θ = 0 tilt then reproduces the E3 streaming path bit
+// for bit.
+func NewSettlementStreamVerdict(m, T int) runner.StreamVerdict {
+	return newSettlementStream(m, T)
+}
+
+// NewCPStreamVerdict returns the streaming E5 verdict (a UVP-free window
+// of length ≥ k exists) as a reusable runner.StreamVerdict, exported for
+// package rare.
+func NewCPStreamVerdict(k int, consistentTies bool) runner.StreamVerdict {
+	return newCPStream(k, consistentTies)
+}
+
+// NewDeltaUnsettledStreamVerdict returns the streaming E4 verdict (slot s
+// lacks the Lemma 2 (k, Δ)-settlement certificate over T-slot inputs) as
+// a reusable runner.StreamVerdict, exported for package rare.
+func NewDeltaUnsettledStreamVerdict(s, k, delta, T int) (runner.StreamVerdict, error) {
+	return newDeltaUnsettledStream(s, k, delta, T)
+}
+
 // mustRunStream executes a streaming job whose verdict cannot fail; any
 // error therefore indicates a programming bug in this package and panics.
 func mustRunStream(cfg runner.Config, T int, sample runner.SymbolSampler, newVerdict func() runner.StreamVerdict) Estimate {

@@ -1,0 +1,299 @@
+package runner
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/stats"
+)
+
+// This file is the weighted half of the streaming engine: the fused
+// sample–judge loop of RunStream generalized to verdicts that attach an
+// importance weight (a likelihood ratio) to every sample. It exists for
+// the rare-event estimators of package rare — exponential tilting draws
+// from a proposal law and corrects each hit by its accumulated
+// likelihood ratio — and collapses to RunStream semantics when every
+// weight is 1.
+//
+// # Determinism
+//
+// Integer hit counts commute, so RunStream may fold batch results in
+// completion order. Weighted sums are float64 and float addition does not
+// commute bitwise, so RunStreamWeighted pins the fold order instead of the
+// operand type: each batch's partial sums are stored in a slice indexed by
+// batch and reduced in batch order after all workers finish. Together with
+// the per-sample SampleSeed streams (sample i of batch b draws the same
+// symbols whoever runs it) the WeightedEstimate is bit-identical at every
+// worker count, and — exactly as in RunStream — invariant under verdict
+// early exit.
+
+// WeightedStreamVerdict is the weighted counterpart of StreamVerdict. The
+// engine drives it as Begin, then Feed per symbol until either Feed
+// reports the verdict decided or T symbols have been fed, then Finish.
+//
+// Begin receives the sample's deterministic random stream before any
+// symbol is drawn, so a verdict may consume leading randomness — e.g.
+// drawing an initial reach from the stationary law X∞. The symbols the
+// engine feeds afterwards come from the same stream, positioned after
+// whatever Begin consumed.
+//
+// Finish returns the verdict together with the sample's weight: the
+// likelihood ratio dLaw/dProposal accumulated over everything the sample
+// consumed (1 for unweighted verdicts). Weights must be non-negative and
+// finite. As with StreamVerdict, Feed may only report decided when no
+// continuation could change the (verdict, weight) pair that Finish will
+// return — early exit must be unobservable in the estimate, which for
+// likelihood-ratio weights holds because the unconsumed suffix has
+// conditional expected ratio 1 and is independent of the decided verdict.
+//
+// Implementations carry reusable scratch and are NOT safe for concurrent
+// use: RunStreamWeighted gives every worker its own instance.
+type WeightedStreamVerdict interface {
+	// Begin prepares the scratch for a fresh sample and may draw leading
+	// randomness from the sample's stream.
+	Begin(rng *SM64)
+	// Feed consumes the next symbol and reports whether the verdict is
+	// already decided (early exit).
+	Feed(sym charstring.Symbol) (decided bool)
+	// Finish returns the verdict and the sample's importance weight.
+	Finish() (hit bool, weight float64, err error)
+}
+
+// WeightedEstimate is an importance-sampling frequency estimate: the mean
+// of x_i = weight_i·1{hit_i} with a normal-approximation 95% interval and
+// the effective sample size of the hit weights. It is the result type of
+// RunStreamWeighted and of the rare-event engines built on it.
+type WeightedEstimate struct {
+	N     int     // total samples
+	Hits  int     // raw hit count (unweighted)
+	SumW  float64 // Σ weight_i·1{hit_i}
+	SumW2 float64 // Σ (weight_i·1{hit_i})²
+	P     float64 // point estimate SumW/N
+	SE    float64 // standard error of P
+	Lo    float64 // P − 1.96·SE, clamped at 0
+	Hi    float64 // P + 1.96·SE
+	ESS   float64 // effective sample size (SumW)²/SumW2 of the hit weights
+}
+
+// NewWeightedEstimate assembles a WeightedEstimate from folded sums.
+func NewWeightedEstimate(n, hits int, sumW, sumW2 float64) WeightedEstimate {
+	e := WeightedEstimate{N: n, Hits: hits, SumW: sumW, SumW2: sumW2}
+	e.P, e.SE = stats.ISPoint(sumW, sumW2, n)
+	e.Lo, e.Hi = stats.NormalCI(e.P, e.SE, 1.96)
+	e.ESS = stats.ESS(sumW, sumW2)
+	return e
+}
+
+// Merge folds another estimate into this one (disjoint sample sets, e.g.
+// successive rounds of a stopping rule) and returns the combined estimate.
+// Merging is performed on the raw sums, so a sequence of rounds merged in
+// a fixed order is deterministic.
+func (e WeightedEstimate) Merge(o WeightedEstimate) WeightedEstimate {
+	return NewWeightedEstimate(e.N+o.N, e.Hits+o.Hits, e.SumW+o.SumW, e.SumW2+o.SumW2)
+}
+
+// RelErr returns the relative standard error SE/P (+Inf with no hits),
+// the quantity the rare-event stopping rule drives below its target.
+func (e WeightedEstimate) RelErr() float64 { return stats.RelErr(e.P, e.SE) }
+
+// String renders the estimate compactly, e.g.
+// "1.234e-11 ±9.5e-13 [ESS 1823, 2041/500000]".
+func (e WeightedEstimate) String() string {
+	return fmt.Sprintf("%.4g ±%.2g [ESS %.0f, %d/%d]", e.P, 1.96*e.SE, e.ESS, e.Hits, e.N)
+}
+
+// WeightedState is the self-sampling counterpart of
+// WeightedStreamVerdict, for proposals whose symbol law depends on the
+// evolving verdict state (e.g. the margin-conditioned tilt of package
+// rare, which switches threshold tables on the boundary classes of the
+// (ρ, µ) chain). The state draws its own randomness: Begin starts a fresh
+// sample, Step advances it by one draw until it reports done, Finish
+// returns the weighted verdict. The engine never caps the step count —
+// states terminate by their own horizon.
+//
+// Implementations carry reusable scratch and are NOT safe for concurrent
+// use: RunWeightedStates gives every worker its own instance.
+type WeightedState interface {
+	Begin(rng *SM64)
+	Step(rng *SM64) (done bool)
+	Finish() (hit bool, weight float64, err error)
+}
+
+// weightedBatch is one batch's partial sums, folded in batch order.
+type weightedBatch struct {
+	sumW, sumW2 float64
+	hits, n     int
+	done        bool
+}
+
+// runWeightedPool is the shared engine behind RunStreamWeighted and
+// RunWeightedStates: a worker pool over batches where each worker owns
+// one judge closure from newJudge (wrapping its reusable scratch) that
+// consumes a freshly reseeded sample stream and returns the weighted
+// verdict. Partial sums land in their batch's slot and the final fold
+// walks the slots in index order, so float addition happens in one fixed
+// order regardless of scheduling — the weighted determinism contract.
+func runWeightedPool(cfg Config, newJudge func() func(rng *SM64) (bool, float64, error)) (WeightedEstimate, error) {
+	if cfg.N <= 0 {
+		return NewWeightedEstimate(0, 0, 0, 0), nil
+	}
+	bs := cfg.batchSize()
+	batches := (cfg.N + bs - 1) / bs
+	workers := min(cfg.workers(), batches)
+
+	partials := make([]weightedBatch, batches)
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make(chan error, workers)
+	// Progress reporting stays incremental (and on one goroutine, per the
+	// Config.Progress contract) even though the sums fold only at the
+	// end: workers stream their batch sizes to a dedicated counter.
+	var progress chan int
+	var progressDone chan struct{}
+	if cfg.Progress != nil {
+		progress = make(chan int, workers)
+		progressDone = make(chan struct{})
+		go func() {
+			defer close(progressDone)
+			done := 0
+			for n := range progress {
+				done += n
+				cfg.Progress(done, cfg.N)
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			judge := newJudge()
+			var rng SM64
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= batches || failed.Load() {
+					return
+				}
+				lo := b * bs
+				hi := min(lo+bs, cfg.N)
+				var p weightedBatch
+				for i := lo; i < hi; i++ {
+					rng.Reseed(SampleSeed(cfg.Seed, b, i-lo))
+					hit, weight, err := judge(&rng)
+					if err == nil && (weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0)) {
+						err = fmt.Errorf("invalid importance weight %v", weight)
+					}
+					if err != nil {
+						failed.Store(true)
+						errs <- fmt.Errorf("runner: batch %d sample %d: %w", b, i, err)
+						return
+					}
+					if hit {
+						p.hits++
+						p.sumW += weight
+						p.sumW2 += weight * weight
+					}
+				}
+				p.n = hi - lo
+				p.done = true
+				partials[b] = p
+				if progress != nil {
+					progress <- p.n
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if progress != nil {
+		close(progress)
+		<-progressDone
+	}
+	close(errs)
+	if err := <-errs; err != nil {
+		return WeightedEstimate{}, err
+	}
+
+	var sumW, sumW2 float64
+	hits := 0
+	for b := range partials {
+		p := &partials[b]
+		if !p.done {
+			return WeightedEstimate{}, fmt.Errorf("runner: batch %d never completed", b)
+		}
+		sumW += p.sumW
+		sumW2 += p.sumW2
+		hits += p.hits
+	}
+	return NewWeightedEstimate(cfg.N, hits, sumW, sumW2), nil
+}
+
+// RunStreamWeighted executes a weighted Monte-Carlo job on the fused
+// streaming loop: cfg.N samples of length (at most) T, drawn
+// symbol-at-a-time from per-sample SampleSeed streams and judged online by
+// per-worker verdicts from newVerdict. The returned WeightedEstimate is
+// bit-identical for every worker count (see the file comment); the first
+// verdict error cancels the remaining batches and is returned. A verdict
+// returning a negative, NaN or infinite weight is reported as an error —
+// a likelihood ratio can never be one, so it indicates a broken proposal.
+func RunStreamWeighted(cfg Config, T int, sample SymbolSampler, newVerdict func() WeightedStreamVerdict) (WeightedEstimate, error) {
+	if sample == nil || newVerdict == nil {
+		return WeightedEstimate{}, fmt.Errorf("runner: nil sampler or verdict constructor")
+	}
+	if T <= 0 {
+		return WeightedEstimate{}, fmt.Errorf("runner: non-positive sample length %d", T)
+	}
+	return runWeightedPool(cfg, func() func(rng *SM64) (bool, float64, error) {
+		v := newVerdict()
+		return func(rng *SM64) (bool, float64, error) {
+			v.Begin(rng)
+			for t := 1; t <= T; t++ {
+				if v.Feed(sample(rng, t)) {
+					break
+				}
+			}
+			return v.Finish()
+		}
+	})
+}
+
+// RunWeightedStates executes a weighted Monte-Carlo job over self-sampling
+// states: cfg.N samples, each a fresh Begin on the per-worker state from
+// newState followed by Step until done, drawing all randomness from the
+// sample's SampleSeed stream. Same determinism and error contract as
+// RunStreamWeighted.
+func RunWeightedStates(cfg Config, newState func() WeightedState) (WeightedEstimate, error) {
+	if newState == nil {
+		return WeightedEstimate{}, fmt.Errorf("runner: nil state constructor")
+	}
+	return runWeightedPool(cfg, func() func(rng *SM64) (bool, float64, error) {
+		st := newState()
+		return func(rng *SM64) (bool, float64, error) {
+			st.Begin(rng)
+			for !st.Step(rng) {
+			}
+			return st.Finish()
+		}
+	})
+}
+
+// UnitWeight adapts an unweighted StreamVerdict to the weighted engine
+// with weight 1 for every sample — the θ = 0 endpoint of the tilting
+// family. RunStreamWeighted over a UnitWeight verdict draws exactly the
+// sample stream RunStream draws and its P equals RunStream's bit for bit
+// (a sum of 1.0s is an exact integer, divided by the same N).
+type UnitWeight struct{ V StreamVerdict }
+
+// Begin implements WeightedStreamVerdict.
+func (u UnitWeight) Begin(*SM64) { u.V.Reset() }
+
+// Feed implements WeightedStreamVerdict.
+func (u UnitWeight) Feed(sym charstring.Symbol) bool { return u.V.Feed(sym) }
+
+// Finish implements WeightedStreamVerdict.
+func (u UnitWeight) Finish() (bool, float64, error) {
+	ok, err := u.V.Finish()
+	return ok, 1, err
+}

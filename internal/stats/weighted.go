@@ -1,0 +1,131 @@
+package stats
+
+import "math"
+
+// This file carries the weighted estimators behind the rare-event engines
+// (package rare): importance sampling turns every Monte-Carlo sample into a
+// weighted observation x_i = w_i·1{hit_i} with likelihood-ratio weight w_i,
+// and the quantities of interest become moments of the x_i. The functions
+// are deliberately sum-based — callers accumulate Σx and Σx² in whatever
+// deterministic order their engine prescribes and hand the totals here — so
+// the runner's bit-identical-at-any-worker-count contract is preserved by
+// construction: these are pure functions of the folded sums.
+
+// ISPoint returns the importance-sampling point estimate and its standard
+// error from the per-sample sums sum = Σ x_i and sum2 = Σ x_i² over n
+// samples: p = sum/n and se = sqrt((sum2/n − p²)/(n−1)), the standard error
+// of the mean of the x_i. n ≤ 1 yields se = 0; tiny negative variances from
+// float cancellation are clamped to zero.
+func ISPoint(sum, sum2 float64, n int) (p, se float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	nf := float64(n)
+	p = sum / nf
+	if n == 1 {
+		return p, 0
+	}
+	v := (sum2/nf - p*p) / (nf - 1)
+	if v < 0 {
+		v = 0
+	}
+	return p, math.Sqrt(v)
+}
+
+// NormalCI returns the normal-approximation confidence interval
+// [p − z·se, p + z·se] clamped below at 0 (probabilities cannot be
+// negative; the upper end is left unclamped because importance-sampling
+// estimates of deep-tail probabilities sit many orders of magnitude below
+// 1 and a clamp would only mask a broken estimator).
+func NormalCI(p, se, z float64) (lo, hi float64) {
+	lo = p - z*se
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, p + z*se
+}
+
+// ESS returns the effective sample size (Σw)²/Σw² of a weight population
+// given its first two power sums. It is n for n equal weights, degrades
+// toward 1 as the weights skew, and is 0 for an all-zero population. For
+// the rare-event engines the sums run over x_i = w_i·1{hit_i}, so zero
+// (miss) samples drop out and ESS measures the equivalent number of
+// equally-weighted hits.
+func ESS(sum, sum2 float64) float64 {
+	if sum2 <= 0 {
+		return 0
+	}
+	return sum * sum / sum2
+}
+
+// RelErr returns the relative standard error se/p — the quantity the
+// rare-event stopping rule drives below a target. A non-positive point
+// estimate yields +Inf (no hits yet: the error is unbounded).
+func RelErr(p, se float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return se / p
+}
+
+// WSummary holds weighted moments of a sample, the weighted counterpart of
+// Summary.
+type WSummary struct {
+	N        int     // number of observations
+	SumW     float64 // Σ w_i
+	Mean     float64 // Σ w_i x_i / Σ w_i
+	Std      float64 // sqrt of the frequency-weighted sample variance
+	ESS      float64 // (Σw)²/Σw²
+	Min, Max float64 // extremes over observations with w > 0
+}
+
+// WSummarize computes weighted summary statistics with frequency-weight
+// semantics: the variance denominator is Σw − 1, so unit weights reproduce
+// Summarize exactly (same accumulation order, same operations). Weights
+// must be non-negative; observations with zero weight contribute nothing
+// (including to Min/Max). An empty or all-zero-weight sample yields the
+// zero WSummary. It panics if the lengths differ.
+func WSummarize(xs, ws []float64) WSummary {
+	if len(xs) != len(ws) {
+		panic("stats: WSummarize length mismatch")
+	}
+	if len(xs) == 0 {
+		return WSummary{}
+	}
+	s := WSummary{N: len(xs)}
+	var sum, sumW, sumW2 float64
+	first := true
+	for i, x := range xs {
+		w := ws[i]
+		if w == 0 {
+			continue
+		}
+		sum += w * x
+		sumW += w
+		sumW2 += w * w
+		if first || x < s.Min {
+			s.Min = x
+		}
+		if first || x > s.Max {
+			s.Max = x
+		}
+		first = false
+	}
+	if sumW == 0 {
+		return WSummary{N: len(xs)}
+	}
+	s.SumW = sumW
+	s.Mean = sum / sumW
+	s.ESS = ESS(sumW, sumW2)
+	var ss float64
+	for i, x := range xs {
+		if w := ws[i]; w != 0 {
+			d := x - s.Mean
+			ss += w * d * d
+		}
+	}
+	if sumW > 1 {
+		s.Std = math.Sqrt(ss / (sumW - 1))
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestISPointClosedForm: the importance-sampling point estimate and its
+// standard error against hand-computed values.
+func TestISPointClosedForm(t *testing.T) {
+	// Three samples with x = {2, 0, 1}: sum = 3, sum2 = 5.
+	p, se := ISPoint(3, 5, 3)
+	if p != 1 {
+		t.Fatalf("p = %v, want 1", p)
+	}
+	// variance = (5/3 − 1)/2 = 1/3.
+	if want := math.Sqrt(1.0 / 3); math.Abs(se-want) > 1e-15 {
+		t.Fatalf("se = %v, want %v", se, want)
+	}
+	if p, se := ISPoint(0, 0, 0); p != 0 || se != 0 {
+		t.Fatalf("empty: (%v, %v)", p, se)
+	}
+	if _, se := ISPoint(4, 16, 1); se != 0 {
+		t.Fatalf("n=1 must give se=0, got %v", se)
+	}
+	// Cancellation clamps to zero rather than NaN.
+	if _, se := ISPoint(3, 3-1e-18, 3); math.IsNaN(se) {
+		t.Fatal("negative-variance cancellation produced NaN")
+	}
+}
+
+// TestESSClosedForm: equal weights give n, a lone weight gives 1, zero
+// mass gives 0.
+func TestESSClosedForm(t *testing.T) {
+	if got := ESS(10, 10); got != 10 { // ten unit weights
+		t.Fatalf("ESS(10,10) = %v, want 10", got)
+	}
+	if got := ESS(5, 25); got != 1 { // one weight of 5
+		t.Fatalf("ESS(5,25) = %v, want 1", got)
+	}
+	if got := ESS(0, 0); got != 0 {
+		t.Fatalf("ESS(0,0) = %v, want 0", got)
+	}
+	// n weights {w, w, ..., w} of any scale: ESS = n.
+	if got := ESS(7*0.25, 7*0.25*0.25); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("scaled equal weights: ESS = %v, want 7", got)
+	}
+}
+
+// TestNormalCI: symmetric interval, lower clamp at 0, no upper clamp.
+func TestNormalCI(t *testing.T) {
+	lo, hi := NormalCI(10, 1, 1.96)
+	if lo != 10-1.96 || hi != 10+1.96 {
+		t.Fatalf("CI = [%v, %v]", lo, hi)
+	}
+	lo, _ = NormalCI(1e-12, 1e-11, 1.96)
+	if lo != 0 {
+		t.Fatalf("lower end not clamped: %v", lo)
+	}
+}
+
+// TestRelErr: definition and the no-hit sentinel.
+func TestRelErr(t *testing.T) {
+	if got := RelErr(2, 0.5); got != 0.25 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if got := RelErr(0, 1); !math.IsInf(got, 1) {
+		t.Fatalf("RelErr at p=0 = %v, want +Inf", got)
+	}
+}
+
+// TestWSummarizeClosedForm: weighted mean, frequency-weighted variance
+// and ESS against hand-computed values.
+func TestWSummarizeClosedForm(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	ws := []float64{2, 1, 1}
+	s := WSummarize(xs, ws)
+	// mean = (2·1 + 2 + 4)/4 = 2; var = (2·1 + 0 + 4)/(4−1) = 2.
+	if s.Mean != 2 {
+		t.Fatalf("mean = %v, want 2", s.Mean)
+	}
+	if want := math.Sqrt(2); math.Abs(s.Std-want) > 1e-15 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if want := 16.0 / 6; math.Abs(s.ESS-want) > 1e-15 {
+		t.Fatalf("ESS = %v, want %v", s.ESS, want)
+	}
+	if s.Min != 1 || s.Max != 4 || s.SumW != 4 || s.N != 3 {
+		t.Fatalf("summary fields wrong: %+v", s)
+	}
+}
+
+// TestWSummarizeZeroWeights: zero-weight observations contribute nothing,
+// including to the extremes; an all-zero sample is the zero summary.
+func TestWSummarizeZeroWeights(t *testing.T) {
+	s := WSummarize([]float64{-100, 2, 3, 999}, []float64{0, 1, 1, 0})
+	if s.Min != 2 || s.Max != 3 {
+		t.Fatalf("zero-weight extremes leaked: %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	z := WSummarize([]float64{1, 2}, []float64{0, 0})
+	if z.Mean != 0 || z.SumW != 0 || z.ESS != 0 {
+		t.Fatalf("all-zero weights not zero summary: %+v", z)
+	}
+}
+
+// TestWSummarizeUnitWeightsMatchSummarize is the satellite's property
+// pin: unit weights reproduce the existing unweighted Summarize exactly —
+// the same accumulation order and operations, so the match is bitwise,
+// not approximate.
+func TestWSummarizeUnitWeightsMatchSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64()*3)
+			ws[i] = 1
+		}
+		w := WSummarize(xs, ws)
+		u := Summarize(xs)
+		if w.Mean != u.Mean || w.Std != u.Std || w.Min != u.Min || w.Max != u.Max || w.N != u.N {
+			t.Fatalf("trial %d: unit-weight summary %+v != unweighted %+v", trial, w, u)
+		}
+		if w.ESS != float64(n) {
+			t.Fatalf("trial %d: unit-weight ESS %v != n %d", trial, w.ESS, n)
+		}
+	}
+}
+
+// TestWSummarizeLengthMismatchPanics pins the contract violation.
+func TestWSummarizeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	WSummarize([]float64{1}, []float64{1, 2})
+}
