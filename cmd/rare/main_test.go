@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"reflect"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the real command: when
+// re-executed with RARE_RUN_MAIN=1 it runs main() on its own arguments,
+// so the golden tests drive the true flag-parsing, output, and
+// exit-status paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("RARE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RARE_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec failed: %v (stderr: %s)", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), code
+}
+
+func decodeStrict(t *testing.T, data []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("output does not match the published schema: %v\noutput:\n%s", err, data)
+	}
+}
+
+// normalize zeroes the wall-clock fields so the golden comparison pins
+// only deterministic content.
+func normalize(out *jsonOutput) {
+	out.ElapsedMS = 0
+	if out.DPMS != nil {
+		*out.DPMS = 0
+	}
+	for i := range out.Engines {
+		out.Engines[i].ElapsedMS = 0
+	}
+}
+
+// TestJSONGoldenAgree pins the -json schema and values of a moderate
+// settlement point where both engines agree with the DP bracket: strict
+// field decode, deterministic estimates (fixed seed, worker-invariant
+// folds), per-engine and global agree flags, and exit status 0.
+func TestJSONGoldenAgree(t *testing.T) {
+	out, code := runMain(t,
+		"-alpha", "0.30", "-ph", "0.35", "-k", "40", "-tau", "1e-30",
+		"-n", "20000", "-rounds", "2", "-relerr", "0.5", "-ess", "50",
+		"-split-particles", "128", "-split-replicates", "48",
+		"-seed", "7", "-workers", "2", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (agree)\noutput:\n%s", code, out)
+	}
+	var got jsonOutput
+	decodeStrict(t, out, &got)
+	if !got.Agree {
+		t.Fatalf("verdict disagree at an easy point\noutput:\n%s", out)
+	}
+	if len(got.Engines) != 2 {
+		t.Fatalf("want tilt+split engine blocks, got %d", len(got.Engines))
+	}
+	if got.DPLower == nil || got.DPUpper == nil {
+		t.Fatal("synchronous mode must emit the DP bracket")
+	}
+	for _, e := range got.Engines {
+		if !e.Agree {
+			t.Fatalf("engine %s disagrees\noutput:\n%s", e.Engine, out)
+		}
+		if e.ESS <= 0 {
+			t.Fatalf("engine %s: ESS %v, want > 0", e.Engine, e.ESS)
+		}
+	}
+	normalize(&got)
+	checkGolden(t, "testdata/golden_agree.json", got)
+}
+
+// TestExitStatusDisagree pins the failure half of the exit-status
+// contract: a starved tilted run (near-unit tilt, 100 samples, one round)
+// at a deep point scores zero hits, so ESS = 0 forces DISAGREE and the
+// process must exit 1 with agree=false in the document.
+func TestExitStatusDisagree(t *testing.T) {
+	out, code := runMain(t,
+		"-alpha", "0.30", "-ph", "0.35", "-k", "150", "-tau", "1e-30",
+		"-engines", "tilt", "-theta", "1e-6", "-n", "100", "-rounds", "1",
+		"-seed", "7", "-workers", "1", "-json")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (disagree)\noutput:\n%s", code, out)
+	}
+	var got jsonOutput
+	decodeStrict(t, out, &got)
+	if got.Agree {
+		t.Fatalf("document says agree but process exited 1\noutput:\n%s", out)
+	}
+	if len(got.Engines) != 1 || got.Engines[0].Engine != "tilt" {
+		t.Fatalf("want exactly the tilt engine, got %+v", got.Engines)
+	}
+	if e := got.Engines[0]; e.Hits != 0 || e.ESS != 0 || e.Agree {
+		t.Fatalf("starved run should score hits=0 ess=0 agree=false, got %+v", e)
+	}
+}
+
+// checkGolden compares the normalized document against the committed
+// golden file. GOLDEN_UPDATE=1 rewrites the file instead.
+func checkGolden(t *testing.T, path string, got jsonOutput) {
+	t.Helper()
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var want jsonOutput
+	decodeStrict(t, data, &want)
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("-json output drifted from %s\ngot:\n%s\nwant:\n%s", path, gotJSON, data)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"reflect"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the real command: when
+// re-executed with SETTLE_RUN_MAIN=1 it runs main() on its own arguments,
+// so the golden tests drive the true flag-parsing and output path without
+// building a second binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("SETTLE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as the command and returns its
+// stdout and exit code.
+func runMain(t *testing.T, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SETTLE_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec failed: %v (stderr: %s)", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), code
+}
+
+// decodeStrict decodes one -json document, rejecting unknown fields so
+// schema drift (renamed or added fields) fails loudly here.
+func decodeStrict(t *testing.T, data []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("output does not match the published schema: %v\noutput:\n%s", err, data)
+	}
+}
+
+// checkGolden compares the normalized document against the committed
+// golden file. GOLDEN_UPDATE=1 rewrites the file instead.
+func checkGolden(t *testing.T, path string, got jsonOutput) {
+	t.Helper()
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var want jsonOutput
+	decodeStrict(t, data, &want)
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("-json output drifted from %s\ngot:\n%s\nwant:\n%s", path, gotJSON, data)
+	}
+}
+
+// TestJSONGolden pins the -json schema and values of the τ-pruned point
+// query: field set (via strict decode of both the live output and the
+// golden file), the exit-status contract, and the exact DP numbers, with
+// the volatile timing field normalized away.
+func TestJSONGolden(t *testing.T) {
+	out, code := runMain(t, "-alpha", "0.30", "-ph", "0.35", "-k", "60", "-tau", "1e-30", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out)
+	}
+	var got jsonOutput
+	decodeStrict(t, out, &got)
+	if got.P == nil || got.PUpper == nil {
+		t.Fatal("pruned point query must emit both bracket ends p and p_upper")
+	}
+	if *got.P > *got.PUpper {
+		t.Fatalf("bracket inverted: p %v > p_upper %v", *got.P, *got.PUpper)
+	}
+	if got.Bound1 == nil {
+		t.Fatal("analytic bound1_tail missing")
+	}
+	if !got.Regime.ThisPaper || !got.Regime.Consistency {
+		t.Fatalf("regime flags wrong for an honest-majority point: %+v", got.Regime)
+	}
+	got.ElapsedMS = 0
+	checkGolden(t, "testdata/golden_point.json", got)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"reflect"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the real command: when
+// re-executed with TABLE1_RUN_MAIN=1 it runs main() on its own arguments,
+// so the golden test drives the true flag-parsing and output path.
+func TestMain(m *testing.M) {
+	if os.Getenv("TABLE1_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TABLE1_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec failed: %v (stderr: %s)", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), code
+}
+
+func decodeStrict(t *testing.T, data []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("output does not match the published schema: %v\noutput:\n%s", err, data)
+	}
+}
+
+// TestJSONGolden pins the -json schema and values of the pruned -quick
+// grid: strict field decode, the full cell grid in deterministic order,
+// certified upper ends present because τ > 0, and exit status 0 — with
+// the volatile timing and throughput fields normalized away.
+func TestJSONGolden(t *testing.T) {
+	out, code := runMain(t, "-quick", "-kmax", "200", "-tau", "1e-20", "-workers", "2", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out)
+	}
+	var got jsonOutput
+	decodeStrict(t, out, &got)
+	if want := len(got.Alphas) * len(got.Fractions) * len(got.Horizons); len(got.Cells) != want {
+		t.Fatalf("cell grid incomplete: %d cells, want %d", len(got.Cells), want)
+	}
+	for i, c := range got.Cells {
+		if c.Upper == nil {
+			t.Fatalf("cell %d (frac=%v α=%v k=%d): τ > 0 run must carry the certified upper end", i, c.HonestFraction, c.Alpha, c.K)
+		}
+		if c.P > *c.Upper {
+			t.Fatalf("cell %d: bracket inverted: p %v > upper %v", i, c.P, *c.Upper)
+		}
+	}
+	got.ElapsedMS = 0
+	got.CellsPerSec = 0
+	checkGolden(t, "testdata/golden_quick.json", got)
+}
+
+// checkGolden compares the normalized document against the committed
+// golden file. GOLDEN_UPDATE=1 rewrites the file instead.
+func checkGolden(t *testing.T, path string, got jsonOutput) {
+	t.Helper()
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var want jsonOutput
+	decodeStrict(t, data, &want)
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("-json output drifted from %s\ngot:\n%s\nwant:\n%s", path, gotJSON, data)
+	}
+}

@@ -1,0 +1,56 @@
+package conformance
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+// seedFor derives the deterministic per-invariant seed: failures
+// reproduce by name, independent of registry order.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// TestConformance runs every registered invariant at randomized parameter
+// points under its deterministic per-name seed.
+func TestConformance(t *testing.T) {
+	for _, inv := range Registry() {
+		t.Run(inv.Name, func(t *testing.T) {
+			t.Parallel()
+			inv.Check(t, rand.New(rand.NewSource(seedFor(inv.Name))))
+		})
+	}
+}
+
+// TestRegistryWellFormed pins the registry's own contract: unique
+// kebab-case names and no empty fields, so INVARIANTS.md entries always
+// have something well-defined to mirror.
+func TestRegistryWellFormed(t *testing.T) {
+	kebab := regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+	seen := map[string]bool{}
+	for i, inv := range Registry() {
+		if !kebab.MatchString(inv.Name) {
+			t.Errorf("entry %d: name %q is not kebab-case", i, inv.Name)
+		}
+		if seen[inv.Name] {
+			t.Errorf("entry %d: duplicate name %q", i, inv.Name)
+		}
+		seen[inv.Name] = true
+		if inv.Statement == "" {
+			t.Errorf("entry %q: empty statement", inv.Name)
+		}
+		if inv.Anchor == "" {
+			t.Errorf("entry %q: empty anchor", inv.Name)
+		}
+		if inv.Check == nil {
+			t.Errorf("entry %q: nil check", inv.Name)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("empty registry")
+	}
+}

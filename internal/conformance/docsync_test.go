@@ -1,0 +1,56 @@
+package conformance
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// invariantsDoc is the human-readable ledger the registry must stay in
+// sync with, relative to this package directory.
+const invariantsDoc = "../../INVARIANTS.md"
+
+// docHeading matches one INVARIANTS.md entry heading, e.g.
+// "### `lattice-banded-equals-full` — banded ≡ full sweep".
+var docHeading = regexp.MustCompile("^### `([a-z0-9-]+)`")
+
+// TestConformanceDocSync enforces the 1:1 correspondence between
+// INVARIANTS.md entries and registered invariants: a registered invariant
+// with no doc entry fails, and a doc entry naming no registered invariant
+// fails. This is what keeps the document a faithful index of what is
+// actually machine-checked.
+func TestConformanceDocSync(t *testing.T) {
+	f, err := os.Open(invariantsDoc)
+	if err != nil {
+		t.Fatalf("INVARIANTS.md must exist and list every registered invariant: %v", err)
+	}
+	defer f.Close()
+
+	documented := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := docHeading.FindStringSubmatch(sc.Text()); m != nil {
+			if documented[m[1]] {
+				t.Errorf("INVARIANTS.md documents %q twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	registered := map[string]bool{}
+	for _, inv := range Registry() {
+		registered[inv.Name] = true
+		if !documented[inv.Name] {
+			t.Errorf("registered invariant %q has no INVARIANTS.md entry", inv.Name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("INVARIANTS.md entry %q names no registered invariant", name)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"multihonest/internal/adversary"
+	"multihonest/internal/charstring"
+	"multihonest/internal/cp"
+	"multihonest/internal/margin"
+	"multihonest/internal/mc"
+	"multihonest/internal/runner"
+	"multihonest/internal/settlement"
+)
+
+// The four differential fuzz targets drive the registry's identities at
+// fuzzer-chosen points: parser round-trips, the margin recurrence against
+// fork-tree ground truth, the exact DP against Monte-Carlo with a
+// statistical tolerance, and the streaming scanners against their slice
+// analyzers. Seed corpora live under testdata/fuzz/; CI runs each target
+// for 30 seconds per push (`go test -fuzz=X -fuzztime=30s`).
+
+// syncFromBytes maps raw fuzz bytes onto the synchronous alphabet.
+func syncFromBytes(data []byte) charstring.String {
+	w := make(charstring.String, len(data))
+	for i, b := range data {
+		w[i] = charstring.Symbol(b%3 + 1)
+	}
+	return w
+}
+
+// semiSyncFromBytes maps raw fuzz bytes onto the semi-synchronous
+// alphabet (⊥ included).
+func semiSyncFromBytes(data []byte) charstring.String {
+	w := make(charstring.String, len(data))
+	for i, b := range data {
+		w[i] = charstring.Symbol(b%4 + 1)
+	}
+	return w
+}
+
+// FuzzCharstringRoundTrip pins parse/format inverses: any string Parse
+// accepts must render (String) to a text Parse maps back to the same
+// symbols — the canonical-form fixed point of the h/H/A/_ notation.
+func FuzzCharstringRoundTrip(f *testing.F) {
+	f.Add("hHA")
+	f.Add("hhhHHAA_")
+	f.Add("1.E")
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := charstring.Parse(s)
+		if err != nil {
+			t.Skip()
+		}
+		out := w.String()
+		w2, err := charstring.Parse(out)
+		if err != nil {
+			t.Fatalf("rendered form %q of accepted input %q does not re-parse: %v", out, s, err)
+		}
+		if len(w2) != len(w) {
+			t.Fatalf("round trip changed length: %d -> %d (%q -> %q)", len(w), len(w2), s, out)
+		}
+		for i := range w {
+			if w[i] != w2[i] {
+				t.Fatalf("round trip changed symbol %d: %v -> %v (%q -> %q)", i, w[i], w2[i], s, out)
+			}
+		}
+		if again := w2.String(); again != out {
+			t.Fatalf("rendering is not a fixed point: %q -> %q", out, again)
+		}
+	})
+}
+
+// FuzzMarginRecurrence checks the Theorem 5 closed-form recurrence against
+// fork-tree ground truth: on any synchronous string, adversary.AStar's
+// canonical fork must realize margin.RelativeMargin at every decomposition
+// point and reach margin.Rho.
+func FuzzMarginRecurrence(f *testing.F) {
+	f.Add([]byte("hAAhH"))
+	f.Add([]byte{0, 1, 2, 2, 1, 0, 0, 2})
+	f.Add([]byte("AAAA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 150 {
+			t.Skip()
+		}
+		w := syncFromBytes(data)
+		canon, err := adversary.Build(w)
+		if err != nil {
+			t.Fatalf("A* fork construction failed on %v: %v", w, err)
+		}
+		margins, err := canon.RelativeMarginsAllPrefixes()
+		if err != nil {
+			t.Fatalf("fork margins on %v: %v", w, err)
+		}
+		for x := 0; x <= len(w); x++ {
+			if want := margin.RelativeMargin(w, x); margins[x] != want {
+				t.Fatalf("w=%v x=%d: fork margin %d != recurrence %d", w, x, margins[x], want)
+			}
+		}
+		rho, err := canon.MaxReach()
+		if err != nil {
+			t.Fatalf("fork reach on %v: %v", w, err)
+		}
+		if rho != margin.Rho(w) {
+			t.Fatalf("w=%v: fork reach %d != ρ(w) %d", w, rho, margin.Rho(w))
+		}
+	})
+}
+
+// FuzzDPvsMC cross-checks the exact finite-prefix settlement DP against
+// the streaming Monte-Carlo engine at fuzzer-chosen (α, ph, k) points.
+// The tolerance is statistical: the fixed-seed estimate must fall within
+// six binomial standard errors (plus discreteness slack) of the exact
+// value, so a genuine engine divergence is caught while seed noise is not.
+func FuzzDPvsMC(f *testing.F) {
+	f.Add(byte(30), byte(50), byte(10))
+	f.Add(byte(10), byte(90), byte(3))
+	f.Add(byte(45), byte(20), byte(19))
+	f.Fuzz(func(t *testing.T, alphaB, phB, kB byte) {
+		alpha := 0.02 + 0.46*float64(alphaB%100)/100
+		ph := (1 - alpha) * float64(phB%101) / 100
+		k := 1 + int(kB%20)
+		p, err := charstring.ParamsFromAlpha(alpha, ph)
+		if err != nil {
+			t.Skip()
+		}
+		const m, n = 30, 2000
+		curve, err := settlement.New(p).ViolationCurveFinitePrefix(m, k)
+		if err != nil {
+			t.Fatalf("DP failed at α=%v ph=%v k=%d: %v", alpha, ph, k, err)
+		}
+		exact := curve[k-1]
+		est := mc.SettlementViolation(p, m, k, n, 1, 1)
+		se := math.Sqrt(exact * (1 - exact) / n)
+		if tol := 6*se + 4.0/n; math.Abs(est.P-exact) > tol {
+			t.Fatalf("α=%v ph=%v k=%d: MC %v vs DP %v differ by %v > %v",
+				alpha, ph, k, est.P, exact, math.Abs(est.P-exact), tol)
+		}
+	})
+}
+
+// FuzzStreamScanners drives every streaming scanner against its slice
+// analyzer on one fuzzer-chosen string: the cp window scanner against the
+// batch UVP-free window, and the E1/E2/E3/E4 streaming verdicts (early
+// exit honored) against their slice oracles.
+func FuzzStreamScanners(f *testing.F) {
+	f.Add([]byte("hAAhHhhHAA"), byte(5))
+	f.Add([]byte{2, 2, 2, 0, 1, 0}, byte(0))
+	f.Add([]byte("AAAAhhhh"), byte(200))
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
+		if len(data) == 0 || len(data) > 300 {
+			t.Skip()
+		}
+		w := syncFromBytes(data)
+		T := len(w)
+
+		k := 1 + int(sel)%8
+		for _, ct := range []bool{false, true} {
+			var ws cp.WindowStream
+			ws.ConsistentTies = ct
+			ws.Reset()
+			for _, sym := range w {
+				ws.Feed(sym)
+				if c := ws.Certified(); c > len(w) {
+					t.Fatalf("certified window %d exceeds fed length", c)
+				}
+			}
+			exact := cp.UVPFreeWindow(w, ct)
+			if got := ws.Finish(); got != exact {
+				t.Fatalf("w=%v ct=%v: stream window %d != batch window %d", w, ct, got, exact)
+			}
+		}
+
+		s := 1 + int(sel)%5
+		fuzzStreamVsSlice(t, w, mc.NewNoUHCatalanStreamVerdict(s, k),
+			mc.NoUniquelyHonestCatalanVerdict(s, k))
+		fuzzStreamVsSlice(t, w, mc.NewNoConsecCatalanStreamVerdict(s, k),
+			mc.NoConsecutiveCatalanVerdict(s, k))
+		m := int(sel) % (T + 1)
+		fuzzStreamVsSlice(t, w, mc.NewSettlementStreamVerdict(m, T),
+			mc.SettlementViolationVerdict(m))
+
+		sw := semiSyncFromBytes(data)
+		if s <= len(sw) {
+			if sw[s-1] == charstring.Empty {
+				sw[s-1] = charstring.UniqueHonest
+			}
+			delta := int(sel) % 3
+			if stream, err := mc.NewDeltaUnsettledStreamVerdict(s, k, delta, len(sw)); err == nil {
+				fuzzStreamVsSlice(t, sw, stream, mc.DeltaUnsettledVerdict(s, k, delta))
+			}
+		}
+	})
+}
+
+// fuzzStreamVsSlice is checkStreamEqualsSlice for fuzz targets: feed with
+// early exit, then require Finish to equal the slice oracle.
+func fuzzStreamVsSlice(t *testing.T, w charstring.String, stream runner.StreamVerdict, slice runner.Verdict) {
+	t.Helper()
+	stream.Reset()
+	for _, sym := range w {
+		if stream.Feed(sym) {
+			break
+		}
+	}
+	got, gotErr := stream.Finish()
+	want, wantErr := slice(w)
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("w=%v: stream err %v vs slice err %v", w, gotErr, wantErr)
+	}
+	if gotErr == nil && got != want {
+		t.Fatalf("w=%v: stream verdict %v != slice verdict %v", w, got, want)
+	}
+}

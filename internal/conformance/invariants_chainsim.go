@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/adversary"
+	"multihonest/internal/chainsim"
+	"multihonest/internal/charstring"
+	"multihonest/internal/fork"
+	"multihonest/internal/leader"
+	"multihonest/internal/margin"
+)
+
+func chainsimInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "margin-recurrence-equals-astar-fork",
+			Statement: "The closed-form relative-margin recurrence of Theorem 5 " +
+				"equals the margins realized by adversary.AStar's canonical fork " +
+				"at every decomposition point, and ρ(w) equals the fork's max reach.",
+			Anchor: "margin.RelativeMargin vs adversary.Build (internal/margin, internal/adversary)",
+			Check:  checkMarginRecurrenceEqualsAStar,
+		},
+		{
+			Name: "chainsim-margins-equal-astar",
+			Statement: "The block tree the protocol-level margin-optimal attacker " +
+				"actually materializes carries exactly the relative margins of " +
+				"adversary.AStar's canonical fork for every prefix, and its " +
+				"realized reach equals ρ(w).",
+			Anchor: "chainsim.NewMarginStrategy (internal/chainsim/strategy.go)",
+			Check:  checkChainsimMarginsEqualAStar,
+		},
+	}
+}
+
+func checkMarginRecurrenceEqualsAStar(t *testing.T, r *rand.Rand) {
+	for trial := 0; trial < 30; trial++ {
+		w := randSyncString(r, 1+r.Intn(60))
+		canon, err := adversary.Build(w)
+		if err != nil {
+			t.Fatalf("trial %d (w=%v): %v", trial, w, err)
+		}
+		margins, err := canon.RelativeMarginsAllPrefixes()
+		if err != nil {
+			t.Fatalf("trial %d (w=%v): %v", trial, w, err)
+		}
+		for x := 0; x <= len(w); x++ {
+			if want := margin.RelativeMargin(w, x); margins[x] != want {
+				t.Fatalf("trial %d x=%d (w=%v): A* fork margin %d != recurrence %d",
+					trial, x, w, margins[x], want)
+			}
+		}
+		rho, err := canon.MaxReach()
+		if err != nil {
+			t.Fatalf("trial %d (w=%v): %v", trial, w, err)
+		}
+		if rho != margin.Rho(w) {
+			t.Fatalf("trial %d (w=%v): A* fork reach %d != ρ(w) %d",
+				trial, w, rho, margin.Rho(w))
+		}
+	}
+}
+
+// realizedFork reconstructs an abstract fork from the simulator's block
+// tree: every non-genesis block becomes a vertex labeled with its slot
+// under its parent's vertex (AllBlocks lists parents before children).
+func realizedFork(t *testing.T, sim *chainsim.Sim, w charstring.String) *fork.Fork {
+	t.Helper()
+	f := fork.New(w)
+	vert := map[chainsim.Hash]*fork.Vertex{sim.Genesis().Hash(): f.Root()}
+	for _, b := range sim.AllBlocks() {
+		if b == sim.Genesis() {
+			continue
+		}
+		parent, ok := vert[b.Parent]
+		if !ok {
+			t.Fatalf("block at slot %d has unknown parent", b.Slot)
+		}
+		v, err := f.AddVertex(parent, b.Slot)
+		if err != nil {
+			t.Fatalf("block at slot %d: %v", b.Slot, err)
+		}
+		vert[b.Hash()] = v
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("realized block tree is not a valid fork: %v", err)
+	}
+	return f
+}
+
+func checkChainsimMarginsEqualAStar(t *testing.T, r *rand.Rand) {
+	for trial := 0; trial < 10; trial++ {
+		p := charstring.MustParams(0.1+0.6*r.Float64(), 0.1+0.3*r.Float64())
+		horizon := 25 + r.Intn(30)
+		strat := chainsim.NewMarginStrategy()
+		sched := leader.BernoulliSchedule(p, horizon, rand.New(rand.NewSource(r.Int63())))
+		sim, err := chainsim.NewSim(chainsim.Config{
+			Schedule: sched, Rule: chainsim.AdversarialTies, Strategy: strat, Seed: r.Int63(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := strat.Err(); err != nil {
+			t.Fatalf("trial %d: strategy error: %v", trial, err)
+		}
+		w := sim.Characteristic()
+		realized := realizedFork(t, sim, w)
+		realMargins, err := realized.RelativeMarginsAllPrefixes()
+		if err != nil {
+			t.Fatalf("trial %d (w=%v): %v", trial, w, err)
+		}
+		for x := 0; x <= len(w); x++ {
+			if want := margin.RelativeMargin(w, x); realMargins[x] != want {
+				t.Fatalf("trial %d x=%d (w=%v): realized block-tree margin %d != A* margin %d",
+					trial, x, w, realMargins[x], want)
+			}
+		}
+		rho, err := realized.MaxReach()
+		if err != nil || rho != margin.Rho(w) {
+			t.Fatalf("trial %d (w=%v): realized reach %d (err %v) != ρ(w) %d",
+				trial, w, rho, err, margin.Rho(w))
+		}
+	}
+}

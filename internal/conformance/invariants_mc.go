@@ -1,0 +1,167 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/mc"
+	"multihonest/internal/runner"
+)
+
+// randSyncString draws a random synchronous string of length T with
+// per-trial symbol frequencies, so checks see both honest-heavy and
+// adversary-heavy regimes.
+func randSyncString(r *rand.Rand, T int) charstring.String {
+	pa := r.Float64()
+	ph := (1 - pa) * r.Float64()
+	w := make(charstring.String, T)
+	for i := range w {
+		switch u := r.Float64(); {
+		case u < pa:
+			w[i] = charstring.Adversarial
+		case u < pa+ph:
+			w[i] = charstring.UniqueHonest
+		default:
+			w[i] = charstring.MultiHonest
+		}
+	}
+	return w
+}
+
+// randSemiSyncString draws a random semi-synchronous string (the
+// {⊥, h, H, A} alphabet) of length T.
+func randSemiSyncString(r *rand.Rand, T int) charstring.String {
+	w := make(charstring.String, T)
+	for i := range w {
+		w[i] = charstring.Symbol(1 + r.Intn(4))
+	}
+	return w
+}
+
+// checkStreamEqualsSlice drives one (streaming verdict, slice oracle)
+// pair over random strings: the stream is fed symbol-at-a-time honoring
+// early exit, and its Finish must equal the slice verdict on the full
+// string — which is exactly the "early exit is unobservable" contract of
+// runner.StreamVerdict.
+func checkStreamEqualsSlice(t *testing.T, trial int, w charstring.String,
+	stream runner.StreamVerdict, slice runner.Verdict) {
+	t.Helper()
+	stream.Reset()
+	fed := len(w)
+	for i, sym := range w {
+		if stream.Feed(sym) {
+			fed = i + 1
+			break
+		}
+	}
+	got, err := stream.Finish()
+	if err != nil {
+		t.Fatalf("trial %d (w=%v): stream verdict: %v", trial, w, err)
+	}
+	want, err := slice(w)
+	if err != nil {
+		t.Fatalf("trial %d (w=%v): slice verdict: %v", trial, w, err)
+	}
+	if got != want {
+		t.Fatalf("trial %d (w=%v, fed %d/%d): stream %v != slice %v",
+			trial, w, fed, len(w), got, want)
+	}
+}
+
+func mcInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "mc-e1-stream-equals-slice",
+			Statement: "The streaming E1 verdict (no uniquely honest Catalan " +
+				"slot in the window) equals the slice oracle " +
+				"NoUniquelyHonestCatalanVerdict on every string, early exit included.",
+			Anchor: "mc.NewNoUHCatalanStreamVerdict vs mc.NoUniquelyHonestCatalanVerdict (internal/mc)",
+			Check: func(t *testing.T, r *rand.Rand) {
+				for trial := 0; trial < 400; trial++ {
+					s, k := 1+r.Intn(5), 2+r.Intn(10)
+					T := s + k - 1 + r.Intn(20)
+					checkStreamEqualsSlice(t, trial, randSyncString(r, T),
+						mc.NewNoUHCatalanStreamVerdict(s, k),
+						mc.NoUniquelyHonestCatalanVerdict(s, k))
+				}
+			},
+		},
+		{
+			Name: "mc-e2-stream-equals-slice",
+			Statement: "The streaming E2 verdict (no two consecutive Catalan " +
+				"slots in the window) equals the slice oracle " +
+				"NoConsecutiveCatalanVerdict on every string, early exit included.",
+			Anchor: "mc.NewNoConsecCatalanStreamVerdict vs mc.NoConsecutiveCatalanVerdict (internal/mc)",
+			Check: func(t *testing.T, r *rand.Rand) {
+				for trial := 0; trial < 400; trial++ {
+					s, k := 1+r.Intn(5), 2+r.Intn(10)
+					T := s + k - 1 + r.Intn(20)
+					checkStreamEqualsSlice(t, trial, randSyncString(r, T),
+						mc.NewNoConsecCatalanStreamVerdict(s, k),
+						mc.NoConsecutiveCatalanVerdict(s, k))
+				}
+			},
+		},
+		{
+			Name: "mc-e3-stream-equals-slice",
+			Statement: "The streaming Table 1 settlement verdict (µ_x(y) ≥ 0 " +
+				"over w = xy) equals the slice oracle SettlementViolationVerdict " +
+				"on every string, early exit included.",
+			Anchor: "mc.NewSettlementStreamVerdict vs mc.SettlementViolationVerdict (internal/mc)",
+			Check: func(t *testing.T, r *rand.Rand) {
+				for trial := 0; trial < 400; trial++ {
+					m := r.Intn(20)
+					T := m + 1 + r.Intn(30)
+					checkStreamEqualsSlice(t, trial, randSyncString(r, T),
+						mc.NewSettlementStreamVerdict(m, T),
+						mc.SettlementViolationVerdict(m))
+				}
+			},
+		},
+		{
+			Name: "mc-e4-stream-equals-slice",
+			Statement: "The streaming E4 verdict (slot s lacks the Lemma 2 " +
+				"(k, Δ)-settlement certificate) equals the slice oracle " +
+				"DeltaUnsettledVerdict on every semi-synchronous string.",
+			Anchor: "mc.NewDeltaUnsettledStreamVerdict vs mc.DeltaUnsettledVerdict (internal/mc)",
+			Check: func(t *testing.T, r *rand.Rand) {
+				for trial := 0; trial < 200; trial++ {
+					s, k, delta := 1+r.Intn(4), 2+r.Intn(6), r.Intn(3)
+					T := s + 2*(k+delta) + r.Intn(25)
+					stream, err := mc.NewDeltaUnsettledStreamVerdict(s, k, delta, T)
+					if err != nil {
+						t.Fatalf("trial %d: %v", trial, err)
+					}
+					// Both verdicts define the event only when slot s has a
+					// leader; the experiment conditions on that (the
+					// conditioned sampler promotes an empty slot s to h),
+					// so the check conditions the same way.
+					w := randSemiSyncString(r, T)
+					if w[s-1] == charstring.Empty {
+						w[s-1] = charstring.UniqueHonest
+					}
+					checkStreamEqualsSlice(t, trial, w,
+						stream, mc.DeltaUnsettledVerdict(s, k, delta))
+				}
+			},
+		},
+		{
+			Name: "mc-e5-stream-equals-slice",
+			Statement: "The streaming E5 verdict (a UVP-free window of length " +
+				"≥ k exists) equals the slice oracle CPViolationVerdict on " +
+				"every string, under both tie-breaking rules.",
+			Anchor: "mc.NewCPStreamVerdict vs mc.CPViolationVerdict (internal/mc)",
+			Check: func(t *testing.T, r *rand.Rand) {
+				for trial := 0; trial < 400; trial++ {
+					k := 2 + r.Intn(8)
+					ct := r.Intn(2) == 0
+					T := k + r.Intn(30)
+					checkStreamEqualsSlice(t, trial, randSyncString(r, T),
+						mc.NewCPStreamVerdict(k, ct),
+						mc.CPViolationVerdict(k, ct))
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"multihonest/internal/oracle"
+	"multihonest/internal/settlement"
+)
+
+func oracleInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "oracle-hot-equals-cold",
+			Statement: "Oracle answers are byte-identical between a cache hit, " +
+				"a cold build, and the underlying settlement computer invoked " +
+				"directly at the canonicalized parameter point.",
+			Anchor: "oracle.Oracle.SettlementCurve / oracle.Canonicalize (internal/oracle/oracle.go)",
+			Check:  checkOracleHotEqualsCold,
+		},
+	}
+}
+
+func checkOracleHotEqualsCold(t *testing.T, r *rand.Rand) {
+	for trial := 0; trial < 3; trial++ {
+		p := randParams(t, r)
+		alpha, ph := p.PA(), p.Ph
+		k := 30 + r.Intn(30)
+
+		o := oracle.New(4)
+		cold, err := o.SettlementCurve(alpha, ph, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := o.SettlementCurve(alpha, ph, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(cold, hot) {
+			t.Fatalf("trial %d: hot curve differs from cold curve", trial)
+		}
+
+		// The direct path: the same canonicalized parameter point handed
+		// straight to the settlement computer the oracle builds from.
+		_, cp, err := oracle.Canonicalize(alpha, ph, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := settlement.New(cp).ViolationCurve(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(cold, direct) {
+			t.Fatalf("trial %d: oracle curve differs from direct settlement computer", trial)
+		}
+
+		pf, err := o.SettlementFailure(alpha, ph, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf != direct[k-1] {
+			t.Fatalf("trial %d: point failure %v != curve tail %v", trial, pf, direct[k-1])
+		}
+
+		st := o.Stats()
+		if st.Misses < 1 || st.Hits < 1 {
+			t.Fatalf("trial %d: stats %+v show no miss-then-hit pattern", trial, st)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/mc"
+	"multihonest/internal/rare"
+	"multihonest/internal/runner"
+)
+
+func runnerInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "runner-worker-invariance",
+			Statement: "Both Monte-Carlo paths (batch Run and fused RunStream) " +
+				"return bit-identical Estimates at every worker count, because " +
+				"the sampling scheme is defined over batches, not workers.",
+			Anchor: "runner.BatchRNG / runner.SampleSeed (internal/runner)",
+			Check:  checkRunnerWorkerInvariance,
+		},
+		{
+			Name: "runner-weighted-worker-invariance",
+			Statement: "RunStreamWeighted folds float partial sums in batch " +
+				"index order, so the WeightedEstimate — including its float " +
+				"sums — is bit-identical at every worker count.",
+			Anchor: "runner.runWeightedPool batch-ordered fold (internal/runner/weighted.go)",
+			Check:  checkRunnerWeightedWorkerInvariance,
+		},
+	}
+}
+
+func checkRunnerWorkerInvariance(t *testing.T, r *rand.Rand) {
+	p := randParams(t, r)
+	m, k := 5+r.Intn(20), 10+r.Intn(30)
+	T := m + k
+	seed := r.Int63()
+	cfg := runner.Config{N: 4000, Seed: seed, BatchSize: 128}
+
+	var streamRef, batchRef runner.Estimate
+	for i, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		est, err := runner.RunStream(cfg, T, mc.StreamBernoulliSampler(p),
+			func() runner.StreamVerdict { return mc.NewSettlementStreamVerdict(m, T) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := runner.Run(cfg, mc.BernoulliSampler(p, T), mc.SettlementViolationVerdict(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			streamRef, batchRef = est, batch
+			continue
+		}
+		if est != streamRef {
+			t.Fatalf("workers=%d: stream estimate %+v != workers=1 %+v", workers, est, streamRef)
+		}
+		if batch != batchRef {
+			t.Fatalf("workers=%d: batch estimate %+v != workers=1 %+v", workers, batch, batchRef)
+		}
+	}
+}
+
+func checkRunnerWeightedWorkerInvariance(t *testing.T, r *rand.Rand) {
+	p := randParams(t, r)
+	m, k := 3+r.Intn(10), 10+r.Intn(30)
+	T := m + k
+	theta := 0.05 + 0.3*r.Float64()
+	ts := rare.TiltSync(p, theta)
+	seed := r.Int63()
+	cfg := runner.Config{N: 4000, Seed: seed, BatchSize: 128}
+
+	var ref runner.WeightedEstimate
+	for i, workers := range []int{1, 4, 9} {
+		cfg.Workers = workers
+		est, err := runner.RunStreamWeighted(cfg, T, ts.Sampler(m),
+			func() runner.WeightedStreamVerdict {
+				return &rare.TiltedVerdict{
+					Inner: mc.NewSettlementStreamVerdict(m, T),
+					Tilt:  ts.Tilt,
+					Skip:  m,
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = est
+			continue
+		}
+		if est != ref {
+			t.Fatalf("workers=%d: weighted estimate %+v != workers=1 %+v", workers, est, ref)
+		}
+	}
+}

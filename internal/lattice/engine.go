@@ -220,6 +220,21 @@ func (e *Engine) Window() (rLo, rHi, sLo, sHi int) {
 	return e.rLo, e.rHi, sLo, sHi
 }
 
+// Mass returns the mass currently held at cell (r, s), and zero for any
+// cell outside the live region. Cells outside the live window may hold
+// stale storage under the lazy zeroing discipline, so the readout consults
+// the window first; this is the cell-resolution reference hook the
+// conformance suite uses to compare banded and Full sweeps bit for bit.
+func (e *Engine) Mass(r, s int) float64 {
+	if r < 0 || r > e.geo.RMax || s < e.geo.SMin || s > e.geo.SMax {
+		return 0
+	}
+	if r < e.rLo || r > e.rHi || s < e.lo[r] || s > e.hi[r] {
+		return 0
+	}
+	return e.cur[r*e.width+s+e.off]
+}
+
 // TailMass returns the mass at s ≥ 0 — the settlement-violation readout
 // Pr[µ ≥ 0] of the current step.
 func (e *Engine) TailMass() float64 {

@@ -66,6 +66,23 @@ func NewDeltaUnsettledStreamVerdict(s, k, delta, T int) (runner.StreamVerdict, e
 	return newDeltaUnsettledStream(s, k, delta, T)
 }
 
+// NewNoUHCatalanStreamVerdict returns the streaming E1 verdict (no
+// uniquely honest Catalan slot in the k-slot window starting at s) as a
+// reusable runner.StreamVerdict. Exported as a test hook so the
+// conformance suite can pin it against NoUniquelyHonestCatalanVerdict,
+// the slice-at-a-time reference oracle.
+func NewNoUHCatalanStreamVerdict(s, k int) runner.StreamVerdict {
+	return newNoUHCatalanStream(s, k)
+}
+
+// NewNoConsecCatalanStreamVerdict returns the streaming E2 verdict (no
+// two consecutive Catalan slots in the k-slot window starting at s) as a
+// reusable runner.StreamVerdict. Exported as a test hook so the
+// conformance suite can pin it against NoConsecutiveCatalanVerdict.
+func NewNoConsecCatalanStreamVerdict(s, k int) runner.StreamVerdict {
+	return newNoConsecCatalanStream(s, k)
+}
+
 // mustRunStream executes a streaming job whose verdict cannot fail; any
 // error therefore indicates a programming bug in this package and panics.
 func mustRunStream(cfg runner.Config, T int, sample runner.SymbolSampler, newVerdict func() runner.StreamVerdict) Estimate {

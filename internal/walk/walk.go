@@ -117,8 +117,13 @@ func (x StationaryReach) Truncated(n int) []float64 {
 // result has length n+1. It converges to StationaryReach.Truncated(n) as
 // m → ∞ and is stochastically dominated by it for every m.
 //
-// The evolution is banded: after t steps the walk cannot exceed min(t, n),
-// so only the live prefix of the vector is scanned and zeroed.
+// The evolution runs on a cap-free grid: after t steps the walk cannot
+// exceed t, so a grid of size m+1 loses no trajectory, and the mass ≥ n is
+// pooled once at the end. Saturating at n *during* the evolution would not
+// be exact — a trajectory that crosses the cap and returns needs several
+// down-steps to re-enter [0, n), and clamping it at n lets it leak back
+// into the low-reach cells too early. (The conformance fuzz target
+// FuzzDPvsMC caught exactly that bias at small n.)
 func ReachLaw(epsilon float64, m, n int) ([]float64, error) {
 	if _, err := NewStationaryReach(epsilon); err != nil {
 		return nil, err
@@ -128,12 +133,12 @@ func ReachLaw(epsilon float64, m, n int) ([]float64, error) {
 	}
 	pUp := (1 - epsilon) / 2
 	pDown := (1 + epsilon) / 2
-	cur := make([]float64, n+1)
-	next := make([]float64, n+1)
+	cur := make([]float64, m+1)
+	next := make([]float64, m+1)
 	cur[0] = 1
-	hi := 0 // largest index with nonzero mass
+	hi := 0 // largest index with nonzero mass; never exceeds the step count
 	for t := 0; t < m; t++ {
-		nextHi := min(hi+1, n)
+		nextHi := min(hi+1, m)
 		for i := 0; i <= nextHi; i++ {
 			next[i] = 0
 		}
@@ -142,7 +147,7 @@ func ReachLaw(epsilon float64, m, n int) ([]float64, error) {
 			if mass == 0 {
 				continue
 			}
-			next[min(r+1, n)] += mass * pUp
+			next[min(r+1, m)] += mass * pUp
 			next[max(r-1, 0)] += mass * pDown
 		}
 		for nextHi > 0 && next[nextHi] == 0 {
@@ -151,7 +156,11 @@ func ReachLaw(epsilon float64, m, n int) ([]float64, error) {
 		hi = nextHi
 		cur, next = next, cur
 	}
-	return cur, nil
+	out := make([]float64, n+1)
+	for i := 0; i <= hi; i++ {
+		out[min(i, n)] += cur[i]
+	}
+	return out, nil
 }
 
 // RuinProbability returns the gambler's-ruin quantity p/q: the probability
