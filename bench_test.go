@@ -91,20 +91,45 @@ func BenchmarkMCEngine(b *testing.B) {
 	}
 }
 
-// mcPairExperiments are the shared workloads of the BenchmarkMCStream /
-// BenchmarkMCBatch benchstat pair: the same event, sample count and seed
-// on the fused streaming engine (runner.RunStream, production path) and on
-// the slice-at-a-time oracle engine (runner.Run, the pre-streaming
-// committed baseline). Both run workers = 1 so the pair isolates the
-// per-sample cost of the core — parallel scaling is BenchmarkMCEngine's
-// job. The two paths draw different (equally valid) streams, so the
-// estimates agree statistically, not bitwise; the equivalence tests in
-// internal/mc pin the verdicts themselves to agree on every string.
-func benchMCPair(b *testing.B, stream bool) {
+// benchMCPair drives the same event, sample count and seed through one of
+// four engine modes, so any two benchmark functions below form a benchstat
+// ablation pair:
+//
+//   - "stream": the production path (the exported mc experiment functions,
+//     which run the block-generated fused loop since PR 7)
+//   - "block": the explicit block loop (runner.RunStreamBlocks + the Block*
+//     samplers) — bit-identical to "stream", named separately so the
+//     ablation against "scalar" reads off directly
+//   - "scalar": the pre-block fused loop (runner.RunStream, one draw and
+//     one Feed per symbol) — kept as the ablation baseline
+//   - "batch": the slice-at-a-time oracle engine (runner.Run)
+//
+// All run workers = 1 so the pair isolates the per-sample cost of the
+// core — parallel scaling is BenchmarkMCEngine's job. "stream", "block"
+// and "scalar" draw the same per-sample streams and agree bitwise (the
+// runner-block-scalar-identity conformance invariant); "batch" draws a
+// different (equally valid) stream and agrees statistically.
+func benchMCPair(b *testing.B, mode string) {
 	p := charstring.MustParams(0.3, 0.3)
 	sp, err := charstring.NewSemiSyncParams(0.8, 0.12, 0.03, 0.05)
 	if err != nil {
 		b.Fatal(err)
+	}
+	mustEst := func(b *testing.B, e mc.Estimate, err error) mc.Estimate {
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	runFused := func(b *testing.B, n, T int, scalar runner.SymbolSampler, block runner.BlockSampler, mk func() runner.StreamVerdict) mc.Estimate {
+		cfg := runner.Config{N: n, Seed: 7, Workers: 1}
+		if mode == "scalar" {
+			e, err := runner.RunStream(cfg, T, scalar, mk)
+			return mustEst(b, e, err)
+		}
+		e, err := runner.RunStreamBlocks(cfg, T, block,
+			func() runner.BlockVerdict { return mk().(runner.BlockVerdict) })
+		return mustEst(b, e, err)
 	}
 	cases := []struct {
 		name string
@@ -112,56 +137,66 @@ func benchMCPair(b *testing.B, stream bool) {
 	}{
 		{"E1-NoUHCatalan", func(b *testing.B) mc.Estimate {
 			const s, k, tail, n = 40, 160, 150, 4000
-			if stream {
+			const T = s - 1 + k + tail
+			switch mode {
+			case "stream":
 				return mc.NoUniquelyHonestCatalan(p, s, k, tail, n, 7, 1)
+			case "batch":
+				e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+					mc.BernoulliSampler(p, T), mc.NoUniquelyHonestCatalanVerdict(s, k))
+				return mustEst(b, e, err)
 			}
-			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
-				mc.BernoulliSampler(p, s-1+k+tail), mc.NoUniquelyHonestCatalanVerdict(s, k))
-			if err != nil {
-				b.Fatal(err)
-			}
-			return e
+			return runFused(b, n, T, mc.StreamBernoulliSampler(p), mc.BlockBernoulliMaskSampler(p),
+				func() runner.StreamVerdict { return mc.NewNoUHCatalanStreamVerdict(s, k) })
 		}},
 		{"E3-Settlement", func(b *testing.B) mc.Estimate {
 			const m, k, n = 600, 100, 4000
-			if stream {
+			const T = m + k
+			switch mode {
+			case "stream":
 				return mc.SettlementViolation(p, m, k, n, 7, 1)
+			case "batch":
+				e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+					mc.BernoulliSampler(p, T), mc.SettlementViolationVerdict(m))
+				return mustEst(b, e, err)
 			}
-			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
-				mc.BernoulliSampler(p, m+k), mc.SettlementViolationVerdict(m))
-			if err != nil {
-				b.Fatal(err)
-			}
-			return e
+			return runFused(b, n, T, mc.StreamBernoulliSampler(p), mc.BlockBernoulliMaskSampler(p),
+				func() runner.StreamVerdict { return mc.NewSettlementStreamVerdict(m, T) })
 		}},
 		{"E5-CPViolation", func(b *testing.B) mc.Estimate {
 			const T, k, n = 400, 40, 2000
-			if stream {
+			switch mode {
+			case "stream":
 				return mc.CPViolationPossible(p, T, k, n, 7, false, 1)
+			case "batch":
+				e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+					mc.BernoulliSampler(p, T), mc.CPViolationVerdict(k, false))
+				return mustEst(b, e, err)
 			}
-			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
-				mc.BernoulliSampler(p, T), mc.CPViolationVerdict(k, false))
-			if err != nil {
-				b.Fatal(err)
-			}
-			return e
+			return runFused(b, n, T, mc.StreamBernoulliSampler(p), mc.BlockBernoulliSampler(p),
+				func() runner.StreamVerdict { return mc.NewCPStreamVerdict(k, false) })
 		}},
 		{"E4-DeltaUnsettled", func(b *testing.B) mc.Estimate {
 			const s, k, tail, delta, n = 8, 60, 150, 3, 1000
-			if stream {
-				e, err := mc.DeltaUnsettled(sp, delta, s, k, tail, n, 7, 1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				return e
-			}
 			T := s + int(float64(2*k+tail)/sp.ActiveRate()) + delta
-			e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
-				mc.ConditionedSemiSyncSampler(sp, s, T), mc.DeltaUnsettledVerdict(s, k, delta))
-			if err != nil {
-				b.Fatal(err)
+			switch mode {
+			case "stream":
+				e, err := mc.DeltaUnsettled(sp, delta, s, k, tail, n, 7, 1)
+				return mustEst(b, e, err)
+			case "batch":
+				e, err := runner.Run(runner.Config{N: n, Seed: 7, Workers: 1},
+					mc.ConditionedSemiSyncSampler(sp, s, T), mc.DeltaUnsettledVerdict(s, k, delta))
+				return mustEst(b, e, err)
 			}
-			return e
+			return runFused(b, n, T,
+				mc.StreamConditionedSemiSyncSampler(sp, s), mc.BlockConditionedSemiSyncSampler(sp, s),
+				func() runner.StreamVerdict {
+					v, err := mc.NewDeltaUnsettledStreamVerdict(s, k, delta, T)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return v
+				})
 		}},
 	}
 	for _, bc := range cases {
@@ -219,11 +254,20 @@ func BenchmarkRareSplit(b *testing.B) {
 	})
 }
 
-// BenchmarkMCStream: the fused streaming engine (production path).
-func BenchmarkMCStream(b *testing.B) { benchMCPair(b, true) }
+// BenchmarkMCStream: the fused streaming engine (production path — the
+// block-generated loop since PR 7; the stable name the committed
+// baselines and the CI perf gate track).
+func BenchmarkMCStream(b *testing.B) { benchMCPair(b, "stream") }
+
+// BenchmarkMCStreamBlock: the explicit block loop — pairs with
+// BenchmarkMCStreamScalar for the block-vs-scalar ablation.
+func BenchmarkMCStreamBlock(b *testing.B) { benchMCPair(b, "block") }
+
+// BenchmarkMCStreamScalar: the pre-block symbol-at-a-time fused loop.
+func BenchmarkMCStreamScalar(b *testing.B) { benchMCPair(b, "scalar") }
 
 // BenchmarkMCBatch: the slice-at-a-time oracle engine (committed baseline).
-func BenchmarkMCBatch(b *testing.B) { benchMCPair(b, false) }
+func BenchmarkMCBatch(b *testing.B) { benchMCPair(b, "batch") }
 
 // BenchmarkDPCapped/BenchmarkDPNaive/BenchmarkDPPruned: ablations of the
 // settlement DP engine (DESIGN.md §6). Capped runs the banded lattice sweep

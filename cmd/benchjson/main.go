@@ -13,6 +13,11 @@
 // for every benchmark present in both. Custom throughput units (qps from
 // the oracle serve benchmarks, samples/s from the MC engine) are carried
 // through as-is.
+//
+// -regress turns the tool into a CI perf gate: each named benchmark must
+// be present in both the input and the baseline, and its ns/op must not
+// exceed baseline × -maxregress (default 1.2), else the process exits
+// non-zero.
 package main
 
 import (
@@ -102,6 +107,8 @@ func main() {
 	log.SetFlags(0)
 	baselinePath := flag.String("baseline", "", "JSON file mapping benchmark name → baseline ns/op")
 	out := flag.String("o", "", "output path (default stdout)")
+	regress := flag.String("regress", "", "comma-separated benchmark names that must not regress vs the baseline")
+	maxRegress := flag.Float64("maxregress", 1.2, "fail when a -regress benchmark's ns/op exceeds baseline × this factor")
 	flag.Parse()
 
 	baseline := map[string]float64{}
@@ -135,6 +142,33 @@ func main() {
 			sp := base / s.Benchmarks[i].NsPerOp
 			s.Benchmarks[i].BaselineNsPerOp = &b
 			s.Benchmarks[i].Speedup = &sp
+		}
+	}
+
+	if *regress != "" {
+		byName := map[string]Result{}
+		for _, r := range s.Benchmarks {
+			byName[r.Name] = r
+		}
+		for _, name := range strings.Split(*regress, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			base, ok := baseline[name]
+			if !ok {
+				log.Fatalf("benchjson: -regress benchmark %q has no baseline entry in %s", name, *baselinePath)
+			}
+			r, ok := byName[name]
+			if !ok {
+				log.Fatalf("benchjson: -regress benchmark %q not found in input", name)
+			}
+			if limit := base * *maxRegress; r.NsPerOp > limit {
+				log.Fatalf("benchjson: %s regressed: %.0f ns/op > baseline %.0f × %.2f = %.0f",
+					name, r.NsPerOp, base, *maxRegress, limit)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s ok: %.0f ns/op ≤ baseline %.0f × %.2f\n",
+				name, r.NsPerOp, base, *maxRegress)
 		}
 	}
 

@@ -1,6 +1,8 @@
 package catalan
 
 import (
+	"math/bits"
+
 	"multihonest/internal/charstring"
 )
 
@@ -78,6 +80,105 @@ func (st *Stream) Feed(sym charstring.Symbol) (pushed bool) {
 		st.min = v
 	}
 	return pushed
+}
+
+// FeedBlockCand consumes a block of up to n ≤ 64 symbols at once, given
+// only packed masks (bit i describes the block's i-th symbol, slot
+// Len()+1+i): aMask marks adversarial symbols (+1 steps; clear bits are
+// honest −1 steps — the synchronous alphabet only, ⊥ walks 0 and must go
+// through Feed), candMask marks the slots the caller's filter accepts as
+// candidates, and uhMask marks uniquely honest symbols (consulted only to
+// attribute Cand.Sym on a push). It is exactly equivalent to feeding the
+// symbols through Feed with a Filter that accepts exactly the candMask
+// bits: record lows outside candMask still move the minimum, kills pop
+// exactly the overtaken candidates, and killS tracks only genuine pushes.
+//
+// The loop never walks bits in full bytes: each byte resolves against
+// precomputed walk tables. Pops need only the byte's maximum prefix
+// height (a pre-existing candidate dies iff that maximum strictly exceeds
+// its S, wherever in the byte the peak sits). Pushes can only happen at
+// strict-record-low positions, which walkByteLow reads off from the
+// entry height above the running minimum; of those, only positions with
+// a candMask bit push, and a within-byte push survives to the byte
+// boundary iff no later prefix height strictly exceeds its walk value
+// (walkByteSufMax) — a push that dies inside the byte is unobservable
+// outside FeedBlockCand and is simply never materialized. Since pushes
+// carry strictly decreasing S and pops only compare against the byte
+// maximum, stack order is preserved exactly as in the scalar loop.
+func (st *Stream) FeedBlockCand(aMask, candMask, uhMask uint64, n int) {
+	s, mn := st.s, st.min
+	// killS caches the top candidate's S. The stack's S values strictly
+	// decrease bottom to top and s never exceeds the top's S between
+	// steps (rising above it pops immediately), so a kill is needed
+	// exactly when a step takes s above killS.
+	killS := maxInt // when no candidate is pending
+	if k := len(st.cand); k > 0 {
+		killS = st.cand[k-1].S
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		b := uint8(aMask >> uint(i))
+		if maxPref := s + int(walkByteMax[b]); maxPref > killS {
+			// The byte's peak overtakes candidates: pop everything below
+			// it (their death position within the byte is irrelevant).
+			k := len(st.cand)
+			for k > 0 && st.cand[k-1].S < maxPref {
+				k--
+			}
+			st.cand = st.cand[:k]
+		}
+		if d := s - mn; d < 8 {
+			// Record lows exist in this byte; push the accepted survivors.
+			lm := walkByteLow[b][d] & uint8(candMask>>uint(i))
+			for lm != 0 {
+				p := bits.TrailingZeros8(lm)
+				lm &= lm - 1
+				if walkByteSufMax[b][p] > walkBytePrefix[b][p] {
+					continue // dies inside the byte: never visible
+				}
+				sym := charstring.MultiHonest
+				if uhMask>>uint(i+p)&1 != 0 {
+					sym = charstring.UniqueHonest
+				}
+				st.cand = append(st.cand, Cand{Slot: st.t + i + p + 1, S: s + int(walkBytePrefix[b][p]), Sym: sym})
+			}
+		}
+		killS = maxInt
+		if k := len(st.cand); k > 0 {
+			killS = st.cand[k-1].S
+		}
+		mn = min(mn, s+int(walkByteMin[b]))
+		s += int(walkByteSum[b])
+	}
+	for ; i < n; i++ {
+		s += int(aMask>>uint(i)&1)*2 - 1
+		if s > killS {
+			k := len(st.cand)
+			for k > 0 && st.cand[k-1].S < s {
+				k--
+			}
+			st.cand = st.cand[:k]
+			killS = maxInt
+			if k > 0 {
+				killS = st.cand[k-1].S
+			}
+			continue
+		}
+		low := uint64(0)
+		if s < mn {
+			low = 1
+		}
+		if low&(candMask>>uint(i))&1 != 0 {
+			sym := charstring.MultiHonest
+			if uhMask>>uint(i)&1 != 0 {
+				sym = charstring.UniqueHonest
+			}
+			st.cand = append(st.cand, Cand{Slot: st.t + i + 1, S: s, Sym: sym})
+			killS = s
+		}
+		mn = min(mn, s)
+	}
+	st.s, st.min, st.t = s, mn, st.t+n
 }
 
 // CopyFrom overwrites st with a snapshot of src, reusing st's candidate

@@ -1,0 +1,68 @@
+package catalan
+
+// maxInt is the no-candidate sentinel of the cached top-of-stack walk
+// value: no step can rise above it, so the kill test is uniform.
+const maxInt = int(^uint(0) >> 1)
+
+// Per-byte walk tables for FeedBlockCand: bit j of the byte is the walk
+// step of symbol j (set = adversarial = +1, clear = honest = −1). For each
+// byte value b, with P_p = Σ_{j≤p} step_j the walk height after bit p,
+//
+//	walkByteSum[b]        = P_7                  (total displacement)
+//	walkByteMin[b]        = min_p P_p            (lowest prefix height)
+//	walkByteMax[b]        = max_p P_p            (highest prefix height)
+//	walkBytePrefix[b][p]  = P_p
+//	walkByteSufMax[b][p]  = max_{q>p} P_q        (−128 when p = 7)
+//	walkByteLow[b][d]     = bits p with P_p ≤ −(d+1) and P_p < min_{q<p} P_q
+//
+// walkByteLow answers "which positions set a strict record low" for a walk
+// entering the byte d above its running minimum: position p is a record
+// low iff s + P_p undercuts both the entry minimum (P_p < −d) and every
+// earlier low of the same byte (P_p < P_q for q < p — an equal-depth
+// later dip is not a record low). The prefix extrema range over non-empty
+// prefixes, matching the per-step tests of the scalar loop. All heights
+// lie in [−8, 8], so int8 suffices.
+var walkByteSum, walkByteMin, walkByteMax [256]int8
+var walkBytePrefix, walkByteSufMax [256][8]int8
+var walkByteLow [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		var s, mn, mx int8
+		mn, mx = 127, -128
+		for j := 0; j < 8; j++ {
+			s += int8(b>>uint(j)&1)*2 - 1
+			walkBytePrefix[b][j] = s
+			if s < mn {
+				mn = s
+			}
+			if s > mx {
+				mx = s
+			}
+		}
+		walkByteSum[b], walkByteMin[b], walkByteMax[b] = s, mn, mx
+		for p := 0; p < 8; p++ {
+			sm := int8(-128)
+			for q := p + 1; q < 8; q++ {
+				if walkBytePrefix[b][q] > sm {
+					sm = walkBytePrefix[b][q]
+				}
+			}
+			walkByteSufMax[b][p] = sm
+		}
+		for d := 0; d < 8; d++ {
+			var lm uint8
+			runMin := 127
+			for p := 0; p < 8; p++ {
+				pp := int(walkBytePrefix[b][p])
+				if pp <= -(d+1) && pp < runMin {
+					lm |= 1 << uint(p)
+				}
+				if pp < runMin {
+					runMin = pp
+				}
+			}
+			walkByteLow[b][d] = lm
+		}
+	}
+}

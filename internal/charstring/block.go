@@ -1,0 +1,87 @@
+package charstring
+
+// This file is the block-at-a-time form of the threshold samplers: 64 raw
+// uniform draws classified against the cumulative cuts in one tight,
+// branch-free loop, with the per-category memberships returned as packed
+// bitmasks (bit i describes draw i). The masks are what make block
+// verdicts cheap — a popcount over AMask is a walk sum, a shifted AMask is
+// a ±1 walk — while the Syms array keeps the full symbol stream available
+// to verdicts that need it.
+//
+// ClassifyBlock is definitionally equivalent to calling Symbol on each
+// draw: both compare against the same cuts in the same cumulative order,
+// so the induced law — and the exact symbol sequence for any given draws —
+// is identical. FuzzBlockSampler and the runner-block-scalar-identity
+// conformance invariant pin this equivalence.
+
+// BlockSize is the symbol count of one classification block: 64, so that
+// each per-category mask is exactly one uint64.
+const BlockSize = 64
+
+// b2u converts a bool to 0/1 without a branch (the compiler emits SETcc).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ClassifyBlock maps 64 raw uniform draws to symbols of the synchronous
+// law, writing the symbol stream into syms and returning the packed
+// adversarial and uniquely-honest membership masks (bit i of aMask set iff
+// syms[i] = A, bit i of hMask set iff syms[i] = h; all remaining draws are
+// H). Equivalent to Symbol(raw[i]) per draw, in one branch-free loop.
+func (t Thresholds) ClassifyBlock(raw *[BlockSize]uint64, syms *[BlockSize]Symbol) (aMask, hMask uint64) {
+	a, ah := t.a, t.ah
+	// Top-down so the masks shift bits in at the bottom by constant-1
+	// shifts (no variable-count shift in the loop); after the last
+	// iteration bit i describes draw i.
+	for i := BlockSize - 1; i >= 0; i-- {
+		u := raw[i]
+		lt1 := b2u(u < a)  // A
+		lt2 := b2u(u < ah) // A or h
+		// Cumulative order A|h|H: (1,1)→A=3, (0,1)→h=1, (0,0)→H=2.
+		syms[i] = Symbol(2 - lt2 + 2*lt1)
+		aMask = aMask<<1 | lt1
+		hMask = hMask<<1 | (lt2 &^ lt1)
+	}
+	return aMask, hMask
+}
+
+// ClassifyBlockMasks is ClassifyBlock without the symbol store: the same
+// compares against the same cuts, returning only the packed masks. It
+// exists for verdicts that consume categories exclusively through the
+// masks (the settlement walk never looks at individual symbols), where
+// skipping the 64 byte stores is a measurable win on the hot path.
+func (t Thresholds) ClassifyBlockMasks(raw *[BlockSize]uint64) (aMask, hMask uint64) {
+	a, ah := t.a, t.ah
+	for i := BlockSize - 1; i >= 0; i-- {
+		u := raw[i]
+		lt1 := b2u(u < a)
+		lt2 := b2u(u < ah)
+		aMask = aMask<<1 | lt1
+		hMask = hMask<<1 | (lt2 &^ lt1)
+	}
+	return aMask, hMask
+}
+
+// ClassifyBlock maps 64 raw uniform draws to symbols of the
+// semi-synchronous law, returning the adversarial, uniquely-honest and
+// empty membership masks (remaining draws are H). Equivalent to
+// Symbol(raw[i]) per draw, in one branch-free loop.
+func (t SemiSyncThresholds) ClassifyBlock(raw *[BlockSize]uint64, syms *[BlockSize]Symbol) (aMask, hMask, eMask uint64) {
+	e, ea, eah := t.e, t.ea, t.eah
+	for i := BlockSize - 1; i >= 0; i-- {
+		u := raw[i]
+		lt1 := b2u(u < e)   // ⊥
+		lt2 := b2u(u < ea)  // ⊥ or A
+		lt3 := b2u(u < eah) // ⊥, A or h
+		// Cumulative order ⊥|A|h|H: (1,1,1)→⊥=4, (0,1,1)→A=3,
+		// (0,0,1)→h=1, (0,0,0)→H=2.
+		syms[i] = Symbol(2 - lt3 + 2*lt2 + lt1)
+		eMask = eMask<<1 | lt1
+		aMask = aMask<<1 | (lt2 &^ lt1)
+		hMask = hMask<<1 | (lt3 &^ lt2)
+	}
+	return aMask, hMask, eMask
+}

@@ -1,0 +1,85 @@
+package charstring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClassifyBlockMatchesSymbol: ClassifyBlock (and the mask-only
+// variant) agree with the per-draw Symbol map on random raw draws — same
+// symbols, and masks that are exactly the per-category membership of the
+// symbol stream — across a spread of synchronous parameter points.
+func TestClassifyBlockMatchesSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	params := []Params{
+		MustParams(0.3, 0.3), MustParams(0.5, 0), MustParams(0.1, 0.55),
+		MustParams(0.9, 0.05), MustParams(0.01, 0.5),
+	}
+	for _, p := range params {
+		th := p.Thresholds()
+		for trial := 0; trial < 50; trial++ {
+			var raw [BlockSize]uint64
+			for i := range raw {
+				raw[i] = rng.Uint64()
+			}
+			var syms [BlockSize]Symbol
+			aMask, hMask := th.ClassifyBlock(&raw, &syms)
+			amOnly, hmOnly := th.ClassifyBlockMasks(&raw)
+			if amOnly != aMask || hmOnly != hMask {
+				t.Fatalf("%+v: ClassifyBlockMasks (%x,%x) != ClassifyBlock (%x,%x)", p, amOnly, hmOnly, aMask, hMask)
+			}
+			for i := 0; i < BlockSize; i++ {
+				want := th.Symbol(raw[i])
+				if syms[i] != want {
+					t.Fatalf("%+v draw %d: block symbol %v, scalar %v", p, i, syms[i], want)
+				}
+				if a := aMask>>uint(i)&1 == 1; a != (want == Adversarial) {
+					t.Fatalf("%+v draw %d: aMask bit %v for symbol %v", p, i, a, want)
+				}
+				if h := hMask>>uint(i)&1 == 1; h != (want == UniqueHonest) {
+					t.Fatalf("%+v draw %d: hMask bit %v for symbol %v", p, i, h, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyBlockSemiSyncMatchesSymbol: the semi-synchronous
+// ClassifyBlock agrees with the per-draw Symbol map, and the three masks
+// are exactly the per-category memberships.
+func TestClassifyBlockSemiSyncMatchesSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(pe, pa, ph float64) SemiSyncParams {
+		sp, err := NewSemiSyncParams(pe, pa, ph, 1-pe-pa-ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	for _, sp := range []SemiSyncParams{
+		mk(0.8, 0.12, 0.03), mk(0.25, 0.25, 0.25), mk(0, 0.4, 0.3), mk(0.5, 0, 0.5),
+	} {
+		th := sp.Thresholds()
+		for trial := 0; trial < 50; trial++ {
+			var raw [BlockSize]uint64
+			for i := range raw {
+				raw[i] = rng.Uint64()
+			}
+			var syms [BlockSize]Symbol
+			aMask, hMask, eMask := th.ClassifyBlock(&raw, &syms)
+			for i := 0; i < BlockSize; i++ {
+				want := th.Symbol(raw[i])
+				if syms[i] != want {
+					t.Fatalf("%+v draw %d: block symbol %v, scalar %v", sp, i, syms[i], want)
+				}
+				bit := uint64(1) << uint(i)
+				if (aMask&bit != 0) != (want == Adversarial) ||
+					(hMask&bit != 0) != (want == UniqueHonest) ||
+					(eMask&bit != 0) != (want == Empty) {
+					t.Fatalf("%+v draw %d: mask bits (a=%v h=%v e=%v) for symbol %v",
+						sp, i, aMask&bit != 0, hMask&bit != 0, eMask&bit != 0, want)
+				}
+			}
+		}
+	}
+}

@@ -192,6 +192,96 @@ func FuzzStreamScanners(f *testing.F) {
 	})
 }
 
+// FuzzBlockSampler pins the block-generation contract at fuzzer-chosen
+// law points: drawing raw uint64s in 64-blocks (SM64.Fill) and
+// classifying them branch-free (ClassifyBlock) must yield the
+// byte-identical symbol stream that the scalar per-draw Symbol map
+// produces from the same splitmix64 stream, with masks that are exactly
+// the per-category memberships — for both the synchronous and the
+// semi-synchronous law.
+func FuzzBlockSampler(f *testing.F) {
+	f.Add(0.3, 0.3, 0.0, uint64(1), 100)
+	f.Add(0.05, 0.55, 0.0, uint64(42), 2048)
+	f.Add(0.15, 0.1, 0.7, uint64(7), 64)
+	f.Add(0.25, 0.25, 0.25, uint64(0xdeadbeef), 97)
+	f.Fuzz(func(t *testing.T, pa, ph, pe float64, seed uint64, T int) {
+		if T < 1 || T > 2048 {
+			t.Skip()
+		}
+		p, err := charstring.ParamsFromAlpha(pa, ph)
+		if err != nil {
+			t.Skip()
+		}
+		th := p.Thresholds()
+		var scalar, block runner.SM64
+		scalar.Reseed(seed)
+		block.Reseed(seed)
+		var raw [runner.BlockSize]uint64
+		var syms [runner.BlockSize]charstring.Symbol
+		for base := 0; base < T; base += runner.BlockSize {
+			block.Fill(&raw)
+			aMask, hMask := th.ClassifyBlock(&raw, &syms)
+			amOnly, hmOnly := th.ClassifyBlockMasks(&raw)
+			if amOnly != aMask || hmOnly != hMask {
+				t.Fatalf("sync %+v: ClassifyBlockMasks (%x,%x) != ClassifyBlock (%x,%x)",
+					p, amOnly, hmOnly, aMask, hMask)
+			}
+			n := min(runner.BlockSize, T-base)
+			for i := 0; i < n; i++ {
+				u := scalar.Uint64()
+				if raw[i] != u {
+					t.Fatalf("sync draw %d: Fill raw %x != scalar stream %x", base+i, raw[i], u)
+				}
+				want := th.Symbol(u)
+				if syms[i] != want {
+					t.Fatalf("sync %+v draw %d: block symbol %v != scalar %v", p, base+i, syms[i], want)
+				}
+				bit := uint64(1) << uint(i)
+				if (aMask&bit != 0) != (want == charstring.Adversarial) ||
+					(hMask&bit != 0) != (want == charstring.UniqueHonest) {
+					t.Fatalf("sync %+v draw %d: mask bits (a=%v h=%v) for symbol %v",
+						p, base+i, aMask&bit != 0, hMask&bit != 0, want)
+				}
+			}
+			// The block path over-draws the partial tail; realign the
+			// scalar stream to the block boundary.
+			for i := n; i < runner.BlockSize; i++ {
+				scalar.Uint64()
+			}
+		}
+
+		sp, err := charstring.NewSemiSyncParams(pe, pa, ph, 1-pe-pa-ph)
+		if err != nil {
+			return // the semi-synchronous point is invalid; sync already checked
+		}
+		sth := sp.Thresholds()
+		scalar.Reseed(seed)
+		block.Reseed(seed)
+		for base := 0; base < T; base += runner.BlockSize {
+			block.Fill(&raw)
+			aMask, hMask, eMask := sth.ClassifyBlock(&raw, &syms)
+			n := min(runner.BlockSize, T-base)
+			for i := 0; i < n; i++ {
+				u := scalar.Uint64()
+				want := sth.Symbol(u)
+				if syms[i] != want {
+					t.Fatalf("semisync %+v draw %d: block symbol %v != scalar %v", sp, base+i, syms[i], want)
+				}
+				bit := uint64(1) << uint(i)
+				if (aMask&bit != 0) != (want == charstring.Adversarial) ||
+					(hMask&bit != 0) != (want == charstring.UniqueHonest) ||
+					(eMask&bit != 0) != (want == charstring.Empty) {
+					t.Fatalf("semisync %+v draw %d: mask bits (a=%v h=%v e=%v) for symbol %v",
+						sp, base+i, aMask&bit != 0, hMask&bit != 0, eMask&bit != 0, want)
+				}
+			}
+			for i := n; i < runner.BlockSize; i++ {
+				scalar.Uint64()
+			}
+		}
+	})
+}
+
 // fuzzStreamVsSlice is checkStreamEqualsSlice for fuzz targets: feed with
 // early exit, then require Finish to equal the slice oracle.
 func fuzzStreamVsSlice(t *testing.T, w charstring.String, stream runner.StreamVerdict, slice runner.Verdict) {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"multihonest/internal/charstring"
 	"multihonest/internal/mc"
 	"multihonest/internal/rare"
 	"multihonest/internal/runner"
@@ -26,6 +27,18 @@ func runnerInvariants() []Invariant {
 				"sums — is bit-identical at every worker count.",
 			Anchor: "runner.runWeightedPool batch-ordered fold (internal/runner/weighted.go)",
 			Check:  checkRunnerWeightedWorkerInvariance,
+		},
+		{
+			Name: "runner-block-scalar-identity",
+			Statement: "The block-at-a-time loop (RunStreamBlocks / " +
+				"RunStreamWeightedBlocks) returns bit-identical estimates to " +
+				"the scalar RunStream loop — hits and Estimate for every mc " +
+				"verdict, and the full WeightedEstimate including its float " +
+				"sums for the tilted verdicts — because block classification " +
+				"preserves the per-sample draw sequence and over-drawing " +
+				"inside a decided sample is unobservable.",
+			Anchor: "runner.RunStreamBlocks / charstring ClassifyBlock (internal/runner/block.go)",
+			Check:  checkRunnerBlockScalarIdentity,
 		},
 	}
 }
@@ -58,6 +71,102 @@ func checkRunnerWorkerInvariance(t *testing.T, r *rand.Rand) {
 		}
 		if batch != batchRef {
 			t.Fatalf("workers=%d: batch estimate %+v != workers=1 %+v", workers, batch, batchRef)
+		}
+	}
+}
+
+// checkRunnerBlockScalarIdentity pins the tentpole equivalence of the
+// block-generated streaming core: for each of the five experiment
+// verdicts the block loop must reproduce the scalar loop's Estimate bit
+// for bit, and for the tilted wrappings the full WeightedEstimate
+// (hits and every float sum). Decision points may differ inside a block
+// — a verdict that has decided simply sees more symbols of its own
+// stream — so equality of the estimates at a shared seed is exactly the
+// "over-drawing is unobservable" contract.
+func checkRunnerBlockScalarIdentity(t *testing.T, r *rand.Rand) {
+	p := randParams(t, r)
+	sp, err := charstring.NewSemiSyncParams(0.7, 0.15, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := r.Int63()
+	cfg := runner.Config{N: 4000, Seed: seed, BatchSize: 128, Workers: 1 + r.Intn(8)}
+
+	s, k := 2+r.Intn(8), 8+r.Intn(24)
+	m := 5 + r.Intn(20)
+	mT := m + 10 + r.Intn(30)
+	wT := s + 2*k
+	delta := r.Intn(3)
+	dT := s + int(float64(2*k+40)/sp.ActiveRate()) + delta
+	mkDelta := func() runner.StreamVerdict {
+		v, err := mc.NewDeltaUnsettledStreamVerdict(s, k, delta, dT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	cases := []struct {
+		name   string
+		T      int
+		scalar runner.SymbolSampler
+		block  runner.BlockSampler
+		mk     func() runner.StreamVerdict
+	}{
+		{"E1-noUHCatalan", wT, mc.StreamBernoulliSampler(p), mc.BlockBernoulliMaskSampler(p),
+			func() runner.StreamVerdict { return mc.NewNoUHCatalanStreamVerdict(s, k) }},
+		{"E2-noConsecCatalan", wT, mc.StreamBernoulliSampler(p), mc.BlockBernoulliMaskSampler(p),
+			func() runner.StreamVerdict { return mc.NewNoConsecCatalanStreamVerdict(s, k) }},
+		{"E3-settlement", mT, mc.StreamBernoulliSampler(p), mc.BlockBernoulliMaskSampler(p),
+			func() runner.StreamVerdict { return mc.NewSettlementStreamVerdict(m, mT) }},
+		{"E5-commonPrefix", wT, mc.StreamBernoulliSampler(p), mc.BlockBernoulliSampler(p),
+			func() runner.StreamVerdict { return mc.NewCPStreamVerdict(k, true) }},
+		{"E4-deltaUnsettled", dT, mc.StreamConditionedSemiSyncSampler(sp, s),
+			mc.BlockConditionedSemiSyncSampler(sp, s), mkDelta},
+	}
+	for _, tc := range cases {
+		want, err := runner.RunStream(cfg, tc.T, tc.scalar, tc.mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.RunStreamBlocks(cfg, tc.T, tc.block,
+			func() runner.BlockVerdict { return tc.mk().(runner.BlockVerdict) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: block estimate %+v != scalar %+v", tc.name, got, want)
+		}
+	}
+
+	ts := rare.TiltSync(p, 0.05+0.3*r.Float64())
+	tsem := rare.TiltSemiSync(sp, 0.02+0.1*r.Float64())
+	wcases := []struct {
+		name   string
+		T      int
+		scalar runner.SymbolSampler
+		block  runner.BlockSampler
+		mk     func() *rare.TiltedVerdict
+	}{
+		{"E3-tilted", mT, ts.Sampler(m), ts.BlockSampler(m), func() *rare.TiltedVerdict {
+			return &rare.TiltedVerdict{Inner: mc.NewSettlementStreamVerdict(m, mT), Tilt: ts.Tilt, Skip: m}
+		}},
+		{"E4-tilted", dT, tsem.Sampler(s, s), tsem.BlockSampler(s, s), func() *rare.TiltedVerdict {
+			return &rare.TiltedVerdict{Inner: mkDelta(), Tilt: tsem.Tilt, Skip: s}
+		}},
+	}
+	for _, tc := range wcases {
+		want, err := runner.RunStreamWeighted(cfg, tc.T, tc.scalar,
+			func() runner.WeightedStreamVerdict { return tc.mk() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.RunStreamWeightedBlocks(cfg, tc.T, tc.block, tc.mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: block weighted estimate %+v != scalar %+v", tc.name, got, want)
 		}
 	}
 }

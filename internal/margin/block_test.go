@@ -1,0 +1,40 @@
+package margin
+
+import (
+	"math/rand"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+// TestStepRhoBitsMatchesStepRho: the byte-table Lindley walk equals the
+// clamped scalar recurrence folded symbol by symbol, for random masks,
+// every prefix length n in [0, 64], and reaches both at and away from the
+// reflecting barrier.
+func TestStepRhoBitsMatchesStepRho(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		mask := rng.Uint64()
+		if trial%5 == 0 {
+			mask = 0 // all-honest: pins the clamp at the barrier
+		}
+		if trial%7 == 0 {
+			mask = ^uint64(0) // all-adversarial: pure drift up
+		}
+		for _, r0 := range []int{0, 1, 3, 17} {
+			for n := 0; n <= 64; n++ {
+				want := r0
+				for i := 0; i < n; i++ {
+					sym := charstring.MultiHonest
+					if mask>>uint(i)&1 == 1 {
+						sym = charstring.Adversarial
+					}
+					want = StepRho(want, sym)
+				}
+				if got := StepRhoBits(r0, mask, n); got != want {
+					t.Fatalf("mask %x r0 %d n %d: StepRhoBits %d, scalar fold %d", mask, r0, n, got, want)
+				}
+			}
+		}
+	}
+}

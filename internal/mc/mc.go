@@ -74,9 +74,9 @@ func NoUniquelyHonestCatalanVerdict(s, k int) runner.Verdict {
 // after the tail decays geometrically). workers = 0 uses all CPUs.
 func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64, workers int) Estimate {
 	T := s - 1 + k + tail
-	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
-		StreamBernoulliSampler(p),
-		func() runner.StreamVerdict { return newNoUHCatalanStream(s, k) })
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		BlockBernoulliMaskSampler(p),
+		func() *noUHCatalanStream { return newNoUHCatalanStream(s, k) })
 }
 
 // NoConsecutiveCatalanVerdict reports the Bound 2 event: the k-slot window
@@ -98,9 +98,9 @@ func NoConsecutiveCatalanVerdict(s, k int) runner.Verdict {
 func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64, workers int) Estimate {
 	p := charstring.MustParams(epsilon, 0)
 	T := s - 1 + k + tail
-	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
-		StreamBernoulliSampler(p),
-		func() runner.StreamVerdict { return newNoConsecCatalanStream(s, k) })
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		BlockBernoulliMaskSampler(p),
+		func() *noConsecCatalanStream { return newNoConsecCatalanStream(s, k) })
 }
 
 // SettlementViolationVerdict reports the Table 1 event on a sampled string
@@ -114,9 +114,9 @@ func SettlementViolationVerdict(m int) runner.Verdict {
 // SettlementViolation estimates Pr[µ_x(y) ≥ 0] for |x| = m, |y| = k — the
 // Table 1 event with a finite prefix. It cross-validates the exact DP.
 func SettlementViolation(p charstring.Params, m, k, n int, seed int64, workers int) Estimate {
-	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, m+k,
-		StreamBernoulliSampler(p),
-		func() runner.StreamVerdict { return newSettlementStream(m, m+k) })
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, m+k,
+		BlockBernoulliMaskSampler(p),
+		func() *settlementStream { return newSettlementStream(m, m+k) })
 }
 
 // ConsistentTiesUnsettled estimates the settlement failure certificate
@@ -137,9 +137,9 @@ func CPViolationVerdict(k int, consistentTies bool) runner.Verdict {
 // CPViolationPossible estimates the Theorem 8 event over T-slot strings
 // (experiment E5).
 func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool, workers int) Estimate {
-	return mustRunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
-		StreamBernoulliSampler(p),
-		func() runner.StreamVerdict { return newCPStream(k, consistentTies) })
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		BlockBernoulliSampler(p),
+		func() *cpStream { return newCPStream(k, consistentTies) })
 }
 
 // ConditionedSemiSyncSampler draws length-T semi-synchronous strings
@@ -178,9 +178,9 @@ func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed
 	if _, err := newDeltaUnsettledStream(s, k, delta, T); err != nil {
 		return Estimate{}, err
 	}
-	return runner.RunStream(runner.Config{N: n, Seed: seed, Workers: workers}, T,
-		StreamConditionedSemiSyncSampler(sp, s),
-		func() runner.StreamVerdict {
+	return runner.RunStreamBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+		BlockConditionedSemiSyncSampler(sp, s),
+		func() *deltaUnsettledStream {
 			v, err := newDeltaUnsettledStream(s, k, delta, T)
 			if err != nil {
 				panic(fmt.Sprintf("mc: delta verdict construction failed after validation: %v", err))

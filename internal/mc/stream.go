@@ -1,8 +1,6 @@
 package mc
 
 import (
-	"fmt"
-
 	"multihonest/internal/catalan"
 	"multihonest/internal/charstring"
 	"multihonest/internal/cp"
@@ -81,16 +79,6 @@ func NewNoUHCatalanStreamVerdict(s, k int) runner.StreamVerdict {
 // conformance suite can pin it against NoConsecutiveCatalanVerdict.
 func NewNoConsecCatalanStreamVerdict(s, k int) runner.StreamVerdict {
 	return newNoConsecCatalanStream(s, k)
-}
-
-// mustRunStream executes a streaming job whose verdict cannot fail; any
-// error therefore indicates a programming bug in this package and panics.
-func mustRunStream(cfg runner.Config, T int, sample runner.SymbolSampler, newVerdict func() runner.StreamVerdict) Estimate {
-	e, err := runner.RunStream(cfg, T, sample, newVerdict)
-	if err != nil {
-		panic(fmt.Sprintf("mc: infallible experiment failed: %v", err))
-	}
-	return e
 }
 
 // noUHCatalanStream is the streaming E1 verdict: the k-slot window starting

@@ -237,6 +237,10 @@ func TestFusedLoopZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	deltaBlock, err := newDeltaUnsettledStream(8, 40, 3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name    string
 		T       int
@@ -274,6 +278,52 @@ func TestFusedLoopZeroAllocs(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("fused loop allocates %.1f allocs per sample in steady state, want 0", allocs)
+			}
+		})
+	}
+
+	// The block loop must hold the same bar: one full block-at-a-time
+	// sample (reseed, reset, fill + classify + feed every block, finish)
+	// with the per-worker Block reused across samples.
+	blockCases := []struct {
+		name    string
+		T       int
+		fill    runner.BlockSampler
+		verdict runner.BlockVerdict
+	}{
+		{"E1-NoUHCatalan", 349, BlockBernoulliMaskSampler(p), newNoUHCatalanStream(40, 160)},
+		{"E2-NoConsecCatalan", 349, BlockBernoulliMaskSampler(charstring.MustParams(0.5, 0)), newNoConsecCatalanStream(40, 160)},
+		{"E3-Settlement", 700, BlockBernoulliMaskSampler(p), newSettlementStream(600, 700)},
+		{"E5-CPViolation", 400, BlockBernoulliSampler(p), newCPStream(40, false)},
+		{"E4-DeltaUnsettled", 400, BlockConditionedSemiSyncSampler(sp, 8), deltaBlock},
+	}
+	for _, tc := range blockCases {
+		t.Run(tc.name+"-block", func(t *testing.T) {
+			var rng runner.SM64
+			blk := new(runner.Block)
+			sampleOnce := func(seed uint64) {
+				rng.Reseed(seed)
+				tc.verdict.Reset()
+				for base := 0; base < tc.T; base += runner.BlockSize {
+					tc.fill(&rng, base, blk)
+					if tc.verdict.FeedBlock(blk, min(runner.BlockSize, tc.T-base)) != 0 {
+						break
+					}
+				}
+				if _, err := tc.verdict.Finish(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 64; i++ { // warm the scratch
+				sampleOnce(runner.SampleSeed(1, 0, i))
+			}
+			var i uint64
+			allocs := testing.AllocsPerRun(200, func() {
+				sampleOnce(runner.SampleSeed(2, 0, int(i)))
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("block loop allocates %.1f allocs per sample in steady state, want 0", allocs)
 			}
 		})
 	}

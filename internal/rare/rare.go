@@ -110,15 +110,18 @@ func roundSeed(seed int64, r int) int64 {
 	return int64(runner.SampleSeed(seed, r, 0))
 }
 
-// runTilted executes the round-based stopping rule over RunStreamWeighted
-// jobs: rounds of opt.N samples are merged in round order until the
-// relative-error and ESS targets are met or MaxRounds is exhausted.
-func runTilted(opt Options, T int, sample runner.SymbolSampler, newVerdict func() runner.WeightedStreamVerdict) (runner.WeightedEstimate, int, error) {
+// runTilted executes the round-based stopping rule over
+// RunStreamWeightedBlocks jobs: rounds of opt.N samples are merged in
+// round order until the relative-error and ESS targets are met or
+// MaxRounds is exhausted. The block core draws the same per-sample streams
+// as the scalar weighted loop, so estimates are unchanged from the
+// symbol-at-a-time engine this ran on before.
+func runTilted(opt Options, T int, fill runner.BlockSampler, newVerdict func() *TiltedVerdict) (runner.WeightedEstimate, int, error) {
 	var est runner.WeightedEstimate
 	cfg := runner.Config{N: opt.N, Workers: opt.Workers, BatchSize: opt.BatchSize}
 	for r := 0; r < opt.MaxRounds; r++ {
 		cfg.Seed = roundSeed(opt.Seed, r)
-		e, err := runner.RunStreamWeighted(cfg, T, sample, newVerdict)
+		e, err := runner.RunStreamWeightedBlocks(cfg, T, fill, newVerdict)
 		if err != nil {
 			return est, r, err
 		}
@@ -234,7 +237,7 @@ func SettlementPrefixTilted(p charstring.Params, m, k int, opt Options) (Result,
 	opt = opt.withDefaults()
 	theta := opt.Theta
 	law := TiltSync(p, theta)
-	est, rounds, err := runTilted(opt, m+k, law.Sampler(m), func() runner.WeightedStreamVerdict {
+	est, rounds, err := runTilted(opt, m+k, law.BlockSampler(m), func() *TiltedVerdict {
 		return &TiltedVerdict{Inner: mc.NewSettlementStreamVerdict(m, m+k), Tilt: law.Tilt, Skip: m}
 	})
 	if err != nil {
@@ -250,9 +253,9 @@ func CPTilted(p charstring.Params, T, k int, consistentTies bool, opt Options) (
 		return Result{}, fmt.Errorf("rare: invalid T=%d k=%d", T, k)
 	}
 	opt = opt.withDefaults()
-	job := func(theta float64) (runner.SymbolSampler, func() runner.WeightedStreamVerdict) {
+	job := func(theta float64) (runner.BlockSampler, func() *TiltedVerdict) {
 		law := TiltSync(p, theta)
-		return law.Sampler(0), func() runner.WeightedStreamVerdict {
+		return law.BlockSampler(0), func() *TiltedVerdict {
 			return &TiltedVerdict{Inner: mc.NewCPStreamVerdict(k, consistentTies), Tilt: law.Tilt}
 		}
 	}
@@ -261,15 +264,15 @@ func CPTilted(p charstring.Params, T, k int, consistentTies bool, opt Options) (
 		var err error
 		theta, pilotN, err = AutoTheta(SaddleTheta(p), nil, max(opt.N/10, 10_000), opt.Seed,
 			func(th float64, n int, seed int64) (runner.WeightedEstimate, error) {
-				sample, newV := job(th)
-				return runner.RunStreamWeighted(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize}, T, sample, newV)
+				fill, newV := job(th)
+				return runner.RunStreamWeightedBlocks(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize}, T, fill, newV)
 			})
 		if err != nil {
 			return Result{}, err
 		}
 	}
-	sample, newV := job(theta)
-	est, rounds, err := runTilted(opt, T, sample, newV)
+	fill, newV := job(theta)
+	est, rounds, err := runTilted(opt, T, fill, newV)
 	if err != nil {
 		return Result{}, err
 	}
@@ -303,7 +306,7 @@ func DeltaUnsettledTilted(sp charstring.SemiSyncParams, delta, s, k, tail int, o
 		theta = th / 2
 	}
 	law := TiltSemiSync(sp, theta)
-	est, rounds, err := runTilted(opt, T, law.Sampler(s, s), func() runner.WeightedStreamVerdict {
+	est, rounds, err := runTilted(opt, T, law.BlockSampler(s, s), func() *TiltedVerdict {
 		v, err := mc.NewDeltaUnsettledStreamVerdict(s, k, delta, T)
 		if err != nil {
 			panic(fmt.Sprintf("rare: delta verdict construction failed after validation: %v", err))

@@ -3,6 +3,7 @@ package rare
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"multihonest/internal/charstring"
 	"multihonest/internal/margin"
@@ -127,6 +128,45 @@ func (t TiltedSync) Sampler(skip int) runner.SymbolSampler {
 	}
 }
 
+// BlockSampler returns the proposal's block sampler — the block-at-a-time
+// twin of Sampler, drawing identical symbol streams: blocks entirely past
+// skip classify against the tilted table in one branch-free pass, blocks
+// entirely inside the skip prefix against the base table, and the one
+// block straddling the boundary classifies per-slot with the table the
+// scalar sampler would pick.
+func (t TiltedSync) BlockSampler(skip int) runner.BlockSampler {
+	tilted := t.th
+	base := t.Base.Thresholds()
+	return func(rng *runner.SM64, basePos int, blk *runner.Block) {
+		rng.Fill(&blk.Raw)
+		blk.EMask = 0
+		switch {
+		case basePos >= skip:
+			blk.AMask, blk.HMask = tilted.ClassifyBlock(&blk.Raw, &blk.Syms)
+		case basePos+runner.BlockSize <= skip:
+			blk.AMask, blk.HMask = base.ClassifyBlock(&blk.Raw, &blk.Syms)
+		default:
+			cut := skip - basePos // slots ≤ skip draw from the base law
+			var am, hm uint64
+			for i := 0; i < runner.BlockSize; i++ {
+				th := tilted
+				if i < cut {
+					th = base
+				}
+				sym := th.Symbol(blk.Raw[i])
+				blk.Syms[i] = sym
+				switch sym {
+				case charstring.Adversarial:
+					am |= 1 << uint(i)
+				case charstring.UniqueHonest:
+					hm |= 1 << uint(i)
+				}
+			}
+			blk.AMask, blk.HMask = am, hm
+		}
+	}
+}
+
 // TiltedSemiSync is the tilted proposal over the quadrivalent alphabet.
 type TiltedSemiSync struct {
 	Tilt
@@ -175,6 +215,49 @@ func (t TiltedSemiSync) Sampler(skip, cond int) runner.SymbolSampler {
 	}
 }
 
+// BlockSampler returns the proposal's block sampler with slot-cond leader
+// conditioning — the block twin of Sampler(skip, cond), drawing identical
+// symbol streams. The conditioning patch rewrites the filled block's
+// symbol and masks in place, exactly like mc.BlockConditionedSemiSyncSampler.
+func (t TiltedSemiSync) BlockSampler(skip, cond int) runner.BlockSampler {
+	tilted := t.th
+	base := t.Base.Thresholds()
+	return func(rng *runner.SM64, basePos int, blk *runner.Block) {
+		rng.Fill(&blk.Raw)
+		switch {
+		case basePos >= skip:
+			blk.AMask, blk.HMask, blk.EMask = tilted.ClassifyBlock(&blk.Raw, &blk.Syms)
+		case basePos+runner.BlockSize <= skip:
+			blk.AMask, blk.HMask, blk.EMask = base.ClassifyBlock(&blk.Raw, &blk.Syms)
+		default:
+			cut := skip - basePos
+			var am, hm, em uint64
+			for i := 0; i < runner.BlockSize; i++ {
+				th := tilted
+				if i < cut {
+					th = base
+				}
+				sym := th.Symbol(blk.Raw[i])
+				blk.Syms[i] = sym
+				switch sym {
+				case charstring.Adversarial:
+					am |= 1 << uint(i)
+				case charstring.UniqueHonest:
+					hm |= 1 << uint(i)
+				case charstring.Empty:
+					em |= 1 << uint(i)
+				}
+			}
+			blk.AMask, blk.HMask, blk.EMask = am, hm, em
+		}
+		if i := cond - basePos - 1; i >= 0 && i < runner.BlockSize && blk.Syms[i] == charstring.Empty {
+			blk.Syms[i] = charstring.UniqueHonest
+			blk.EMask &^= 1 << uint(i)
+			blk.HMask |= 1 << uint(i)
+		}
+	}
+}
+
 // TiltedVerdict fuses a likelihood-ratio accumulator onto an unweighted
 // StreamVerdict, turning it into a runner.WeightedStreamVerdict: two
 // integer counters per Feed (tilted symbols seen, their walk sum) and one
@@ -214,6 +297,35 @@ func (v *TiltedVerdict) Feed(sym charstring.Symbol) bool {
 func (v *TiltedVerdict) Finish() (bool, float64, error) {
 	ok, err := v.Inner.Finish()
 	return ok, math.Exp(v.Tilt.LLR(v.n, v.s)), err
+}
+
+// FeedBlock implements runner.WeightedBlockVerdict, for Inner verdicts
+// that implement runner.BlockVerdict (all streaming mc verdicts do). The
+// inner verdict consumes the block first; the LLR counters then batch over
+// exactly the consumed, post-Skip symbols via two popcounts — the walk sum
+// of a symbol range is 2·|A| + |⊥| − |range|. Because the inner FeedBlock
+// reports the exact scalar decision index, the counters cover precisely
+// the symbols the scalar Feed loop would have seen, deciding symbol
+// included, and the weight is bit-identical to the scalar path's.
+func (v *TiltedVerdict) FeedBlock(blk *runner.Block, n int) int {
+	d := v.Inner.(runner.BlockVerdict).FeedBlock(blk, n)
+	consumed := n
+	if d > 0 {
+		consumed = d
+	}
+	start := 0
+	if v.t < v.Skip {
+		start = min(v.Skip-v.t, consumed)
+	}
+	if act := consumed - start; act > 0 {
+		m := runner.BlockMask(consumed) &^ runner.BlockMask(start)
+		popA := bits.OnesCount64(blk.AMask & m)
+		popE := bits.OnesCount64(blk.EMask & m)
+		v.n += act
+		v.s += 2*popA + popE - act
+	}
+	v.t += consumed
+	return d
 }
 
 // marginTiltState is the margin-conditioned tilted proposal for the

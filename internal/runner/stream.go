@@ -87,13 +87,45 @@ type StreamVerdict interface {
 // judged online by per-worker verdicts from newVerdict. The returned
 // Estimate is bit-identical for every worker count (see the file comment);
 // the first verdict error cancels the remaining batches and is returned.
+//
+// RunStream is the interface entry point; RunStreamOf is the generic form
+// it thinly wraps, and RunStreamBlocks (block.go) is the block-at-a-time
+// core the production experiments run on. All three share streamPool and
+// the per-sample SampleSeed streams, so they agree on the sampling scheme.
 func RunStream(cfg Config, T int, sample SymbolSampler, newVerdict func() StreamVerdict) (Estimate, error) {
+	return RunStreamOf(cfg, T, sample, newVerdict)
+}
+
+// RunStreamOf is RunStream with the verdict type propagated: instantiating
+// it at a concrete verdict type lets the per-symbol Feed call resolve
+// against that type rather than through the StreamVerdict interface.
+func RunStreamOf[V StreamVerdict](cfg Config, T int, sample SymbolSampler, newVerdict func() V) (Estimate, error) {
 	if sample == nil || newVerdict == nil {
 		return Estimate{}, fmt.Errorf("runner: nil sampler or verdict constructor")
 	}
 	if T <= 0 {
 		return Estimate{}, fmt.Errorf("runner: non-positive sample length %d", T)
 	}
+	return streamPool(cfg, func() func(rng *SM64) (bool, error) {
+		v := newVerdict()
+		return func(rng *SM64) (bool, error) {
+			v.Reset()
+			for t := 1; t <= T; t++ {
+				if v.Feed(sample(rng, t)) {
+					break
+				}
+			}
+			return v.Finish()
+		}
+	})
+}
+
+// streamPool is the shared unweighted worker pool: each worker owns one
+// judge closure from newJudge (wrapping its reusable verdict scratch) that
+// consumes a freshly reseeded sample stream and returns the verdict. The
+// pool is an explicit set of goroutines rather than ForEach so the
+// steady-state sample loop touches no shared state but the batch counter.
+func streamPool(cfg Config, newJudge func() func(rng *SM64) (bool, error)) (Estimate, error) {
 	if cfg.N <= 0 {
 		return NewEstimate(0, 0), nil
 	}
@@ -102,10 +134,6 @@ func RunStream(cfg Config, T int, sample SymbolSampler, newVerdict func() Stream
 	workers := min(cfg.workers(), batches)
 	results := make(chan batchResult, workers)
 
-	// Explicit pool rather than ForEach: each worker owns one StreamVerdict
-	// (mutable scratch) and one SM64 for its whole lifetime, so the
-	// steady-state sample loop touches no shared state but the batch
-	// counter.
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -113,7 +141,7 @@ func RunStream(cfg Config, T int, sample SymbolSampler, newVerdict func() Stream
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v := newVerdict()
+			judge := newJudge()
 			var rng SM64
 			for {
 				b := int(next.Add(1) - 1)
@@ -125,13 +153,7 @@ func RunStream(cfg Config, T int, sample SymbolSampler, newVerdict func() Stream
 				hits := 0
 				for i := lo; i < hi; i++ {
 					rng.Reseed(SampleSeed(cfg.Seed, b, i-lo))
-					v.Reset()
-					for t := 1; t <= T; t++ {
-						if v.Feed(sample(&rng, t)) {
-							break
-						}
-					}
-					ok, err := v.Finish()
+					ok, err := judge(&rng)
 					if err != nil {
 						failed.Store(true)
 						results <- batchResult{err: fmt.Errorf("runner: batch %d sample %d: %w", b, i, err)}

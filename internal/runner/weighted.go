@@ -239,6 +239,12 @@ func runWeightedPool(cfg Config, newJudge func() func(rng *SM64) (bool, float64,
 // returning a negative, NaN or infinite weight is reported as an error —
 // a likelihood ratio can never be one, so it indicates a broken proposal.
 func RunStreamWeighted(cfg Config, T int, sample SymbolSampler, newVerdict func() WeightedStreamVerdict) (WeightedEstimate, error) {
+	return RunStreamWeightedOf(cfg, T, sample, newVerdict)
+}
+
+// RunStreamWeightedOf is RunStreamWeighted with the verdict type
+// propagated — the weighted twin of RunStreamOf.
+func RunStreamWeightedOf[V WeightedStreamVerdict](cfg Config, T int, sample SymbolSampler, newVerdict func() V) (WeightedEstimate, error) {
 	if sample == nil || newVerdict == nil {
 		return WeightedEstimate{}, fmt.Errorf("runner: nil sampler or verdict constructor")
 	}
