@@ -8,28 +8,52 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-duration 5s] [-concurrency 8]
 //	        [-keys 64] [-skew 1.2] [-kmax 400] [-ops cell,curve,failure,depth,bracket]
-//	        [-seed 1] [-json]
+//	        [-seed 1] [-json] [-verify 0]
+//	        [-chaos -serve-bin ./serve] [-min-success 0.99]
 //
-// Every worker draws keys from a shared universe of -keys parameter points
-// (deterministic in -seed) through an independent zipf(-skew) stream, so
-// a few points receive most of the traffic. The exit status is the smoke
-// contract for CI: non-zero when no request completed or any request
-// failed.
+// With -verify F, a fraction F of completed requests is sampled and the
+// answers recomputed on a local cold oracle; any float that is not
+// bitwise identical fails the run. Wrong answers are never tolerated,
+// at any error rate.
+//
+// With -chaos, loadgen owns the topology: it spawns a 2-replica cluster
+// from -serve-bin, drives load at the survivor, SIGKILLs the victim
+// replica mid-run, restarts it on its snapshot, and waits for readiness
+// — then asserts availability: the success rate must be at least
+// -min-success (default 0.99) even though a replica died with queries
+// sharded onto it. Replication must make the kill cost latency, not
+// availability, and -verify makes it provably not cost correctness.
+//
+// The exit status is the smoke contract for CI: non-zero when no
+// request completed, the success rate misses the bar (plain runs demand
+// zero errors), any verified answer mismatches, or the victim never
+// recovered.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
+
+	"multihonest/internal/oracle"
+	"multihonest/internal/settlement"
 )
 
 // point is one parameter point of the key universe.
@@ -37,34 +61,81 @@ type point struct {
 	alpha, frac float64
 }
 
+// querySpec is the machine-readable form of one request, kept alongside
+// sampled responses so the verifier can recompute the answer locally.
+type querySpec struct {
+	op          string
+	alpha, frac float64
+	k           int
+	target      float64
+	kmax        int
+	tau         float64
+}
+
+// sample is one completed request retained for offline verification.
+type sample struct {
+	spec   querySpec
+	status int
+	body   []byte
+}
+
 // result aggregates one worker's traffic.
 type result struct {
 	latencies []float64 // seconds
 	errors    int
 	firstErr  error
+	samples   []sample
+}
+
+// chaosReport is the -chaos section of the summary.
+type chaosReport struct {
+	KilledAtSec      float64 `json:"killed_at_sec"`
+	DownSec          float64 `json:"down_sec"`
+	RestartToReadyMS float64 `json:"restart_to_ready_ms"`
 }
 
 // summary is the emitted report.
 type summary struct {
-	URL         string  `json:"url"`
-	DurationSec float64 `json:"duration_sec"`
-	Concurrency int     `json:"concurrency"`
-	Keys        int     `json:"keys"`
-	Skew        float64 `json:"skew"`
-	Ops         string  `json:"ops"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	QPS         float64 `json:"qps"`
-	P50MS       float64 `json:"p50_ms"`
-	P90MS       float64 `json:"p90_ms"`
-	P99MS       float64 `json:"p99_ms"`
-	MaxMS       float64 `json:"max_ms"`
+	URL         string       `json:"url"`
+	DurationSec float64      `json:"duration_sec"`
+	Concurrency int          `json:"concurrency"`
+	Keys        int          `json:"keys"`
+	Skew        float64      `json:"skew"`
+	Ops         string       `json:"ops"`
+	Requests    int          `json:"requests"`
+	Errors      int          `json:"errors"`
+	SuccessRate float64      `json:"success_rate"`
+	Verified    int          `json:"verified"`
+	Mismatches  int          `json:"verify_mismatches"`
+	QPS         float64      `json:"qps"`
+	P50MS       float64      `json:"p50_ms"`
+	P90MS       float64      `json:"p90_ms"`
+	P99MS       float64      `json:"p99_ms"`
+	MaxMS       float64      `json:"max_ms"`
+	Chaos       *chaosReport `json:"chaos,omitempty"`
+}
+
+// maxVerifySamples bounds the offline recompute pass.
+const maxVerifySamples = 256
+
+// teardown, when set, kills the -chaos topology. Every fatal exit must
+// run it: an orphaned replica inherits our stderr and holds the pipe
+// open, wedging whatever is capturing the run's output (CI, a shell
+// pipeline) long after loadgen itself has died.
+var teardown func()
+
+// fatalf is log.Fatalf preceded by topology teardown.
+func fatalf(format string, args ...any) {
+	if teardown != nil {
+		teardown()
+	}
+	log.Fatalf(format, args...)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
-	baseURL := flag.String("url", "http://127.0.0.1:8080", "oracle base URL")
+	baseURL := flag.String("url", "http://127.0.0.1:8080", "oracle base URL (ignored with -chaos)")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
 	keys := flag.Int("keys", 64, "size of the parameter-point universe")
@@ -73,11 +144,35 @@ func main() {
 	ops := flag.String("ops", "cell,curve,failure,depth,bracket", "comma-separated op mix")
 	seed := flag.Int64("seed", 1, "key-universe and traffic seed")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	verify := flag.Float64("verify", 0, "fraction of answers recomputed locally and compared bitwise")
+	chaos := flag.Bool("chaos", false, "spawn a 2-replica cluster and kill/restart one mid-run")
+	serveBin := flag.String("serve-bin", "", "path to the serve binary (-chaos only)")
+	minSuccess := flag.Float64("min-success", 0.99, "required success rate under -chaos")
 	flag.Parse()
 
 	if *concurrency < 1 || *keys < 1 || *skew <= 1 || *kmax < 2 {
 		log.Fatalf("invalid flags: concurrency=%d keys=%d skew=%v kmax=%d", *concurrency, *keys, *skew, *kmax)
 	}
+	if *verify < 0 || *verify > 1 {
+		log.Fatalf("-verify %v outside [0,1]", *verify)
+	}
+
+	var chaosRep *chaosReport
+	chaosc := make(chan *chaosReport, 1)
+	target := *baseURL
+	if *chaos {
+		if *serveBin == "" {
+			log.Fatal("-chaos requires -serve-bin")
+		}
+		cl := startCluster(*serveBin)
+		teardown = cl.stop
+		defer cl.stop()
+		target = cl.survivorURL()
+		go func() {
+			chaosc <- cl.killRestartCycle(*duration)
+		}()
+	}
+
 	opList := strings.Split(*ops, ",")
 	universe := makeUniverse(*keys, *seed)
 
@@ -90,6 +185,7 @@ func main() {
 
 	deadline := time.Now().Add(*duration)
 	results := make([]result, *concurrency)
+	var sampled atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
@@ -102,15 +198,19 @@ func main() {
 			for time.Now().Before(deadline) {
 				p := universe[zipf.Uint64()]
 				op := opList[rng.Intn(len(opList))]
-				url := queryURL(*baseURL, op, p, rng, *kmax)
+				url, spec := queryURL(target, op, p, rng, *kmax)
 				t0 := time.Now()
-				err := get(client, url)
+				status, body, err := get(client, url)
 				res.latencies = append(res.latencies, time.Since(t0).Seconds())
 				if err != nil {
 					res.errors++
 					if res.firstErr == nil {
 						res.firstErr = fmt.Errorf("%s: %w", url, err)
 					}
+					continue
+				}
+				if *verify > 0 && rng.Float64() < *verify && sampled.Add(1) <= maxVerifySamples {
+					res.samples = append(res.samples, sample{spec: spec, status: status, body: body})
 				}
 			}
 		}(w)
@@ -118,20 +218,35 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	if *chaos {
+		// The cycle finishes at the halfway mark plus the victim's ready
+		// wait; a stuck restart fatals inside the goroutine (with its own
+		// 15s bound), so this wait cannot hang.
+		select {
+		case chaosRep = <-chaosc:
+		case <-time.After(30 * time.Second):
+		}
+	}
+
 	var all []float64
 	total, errs := 0, 0
 	var firstErr error
+	var samples []sample
 	for i := range results {
 		all = append(all, results[i].latencies...)
 		total += len(results[i].latencies)
 		errs += results[i].errors
+		samples = append(samples, results[i].samples...)
 		if firstErr == nil {
 			firstErr = results[i].firstErr
 		}
 	}
 	sort.Float64s(all)
+
+	verified, mismatches, firstMismatch := verifySamples(samples)
+
 	s := summary{
-		URL:         *baseURL,
+		URL:         target,
 		DurationSec: elapsed.Seconds(),
 		Concurrency: *concurrency,
 		Keys:        *keys,
@@ -139,13 +254,19 @@ func main() {
 		Ops:         *ops,
 		Requests:    total,
 		Errors:      errs,
+		Verified:    verified,
+		Mismatches:  mismatches,
 		P50MS:       percentile(all, 0.50) * 1e3,
 		P90MS:       percentile(all, 0.90) * 1e3,
 		P99MS:       percentile(all, 0.99) * 1e3,
 		MaxMS:       percentile(all, 1) * 1e3,
+		Chaos:       chaosRep,
 	}
 	if elapsed > 0 {
 		s.QPS = float64(total) / elapsed.Seconds()
+	}
+	if total > 0 {
+		s.SuccessRate = float64(total-errs) / float64(total)
 	}
 
 	if *asJSON {
@@ -155,19 +276,35 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		fmt.Printf("%d requests in %.2fs (%d workers, %d keys, zipf %.2f): %.0f qps\n",
-			s.Requests, s.DurationSec, s.Concurrency, s.Keys, s.Skew, s.QPS)
-		fmt.Printf("latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  errors %d\n",
-			s.P50MS, s.P90MS, s.P99MS, s.MaxMS, s.Errors)
+		fmt.Printf("%d requests in %.2fs (%d workers, %d keys, zipf %.2f): %.0f qps, success %.4f\n",
+			s.Requests, s.DurationSec, s.Concurrency, s.Keys, s.Skew, s.QPS, s.SuccessRate)
+		fmt.Printf("latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  errors %d  verified %d\n",
+			s.P50MS, s.P90MS, s.P99MS, s.MaxMS, s.Errors, s.Verified)
+		if chaosRep != nil {
+			fmt.Printf("chaos: victim killed at %.2fs, down %.2fs, restart-to-ready %.1fms\n",
+				chaosRep.KilledAtSec, chaosRep.DownSec, chaosRep.RestartToReadyMS)
+		}
 	}
 
-	// Smoke contract: CI asserts non-zero throughput and an error-free run
-	// through the exit status.
+	// Smoke contract. Correctness is absolute: one bitwise mismatch fails
+	// the run no matter how available the cluster was.
 	if total == 0 {
-		log.Fatal("no request completed")
+		fatalf("no request completed")
 	}
-	if errs > 0 {
-		log.Fatalf("%d/%d requests failed; first: %v", errs, total, firstErr)
+	if mismatches > 0 {
+		fatalf("%d/%d verified answers differ from the local cold compute; first: %v",
+			mismatches, verified, firstMismatch)
+	}
+	if *chaos {
+		if chaosRep == nil {
+			fatalf("chaos cycle did not complete (victim never restarted)")
+		}
+		if s.SuccessRate < *minSuccess {
+			fatalf("success rate %.4f below -min-success %.4f; first error: %v",
+				s.SuccessRate, *minSuccess, firstErr)
+		}
+	} else if errs > 0 {
+		fatalf("%d/%d requests failed; first: %v", errs, total, firstErr)
 	}
 }
 
@@ -187,11 +324,12 @@ func makeUniverse(n int, seed int64) []point {
 // queryURL builds one request against the point. Horizons are drawn hot:
 // most queries reuse the deepest horizon so cached curves serve them
 // without extension, a spread of shallower ones reads the same curve.
-func queryURL(base, op string, p point, rng *rand.Rand, kmax int) string {
+func queryURL(base, op string, p point, rng *rand.Rand, kmax int) (string, querySpec) {
 	k := kmax
 	if rng.Intn(4) == 0 {
 		k = 1 + rng.Intn(kmax)
 	}
+	spec := querySpec{op: op, alpha: p.alpha, frac: p.frac, k: k}
 	switch op {
 	case "depth":
 		// Targets must be reachable inside the search bound: the certified
@@ -200,36 +338,134 @@ func queryURL(base, op string, p point, rng *rand.Rand, kmax int) string {
 		// 0.40 a depth search this size cannot certify anything useful, so
 		// fall through to the point query instead.
 		if p.alpha <= 0.40 {
-			target := "1e-2"
+			target := 1e-2
 			if p.alpha <= 0.30 {
-				target = []string{"1e-4", "1e-6"}[rng.Intn(2)]
+				target = []float64{1e-4, 1e-6}[rng.Intn(2)]
 			}
-			return fmt.Sprintf("%s/v1/depth?alpha=%g&frac=%g&target=%s&kmax=%d", base, p.alpha, p.frac, target, max(16*kmax, 3200))
+			spec.target, spec.kmax = target, max(16*kmax, 3200)
+			return fmt.Sprintf("%s/v1/depth?alpha=%g&frac=%g&target=%g&kmax=%d",
+				base, p.alpha, p.frac, target, spec.kmax), spec
 		}
 	case "curve":
-		return fmt.Sprintf("%s/v1/curve?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+		return fmt.Sprintf("%s/v1/curve?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k), spec
 	case "failure":
-		return fmt.Sprintf("%s/v1/failure?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+		return fmt.Sprintf("%s/v1/failure?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k), spec
 	case "bracket":
-		return fmt.Sprintf("%s/v1/bracket?alpha=%g&frac=%g&k=%d&tau=1e-30", base, p.alpha, p.frac, k)
+		spec.tau = 1e-30
+		return fmt.Sprintf("%s/v1/bracket?alpha=%g&frac=%g&k=%d&tau=1e-30", base, p.alpha, p.frac, k), spec
 	}
-	return fmt.Sprintf("%s/v1/cell?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k)
+	spec.op = "cell"
+	return fmt.Sprintf("%s/v1/cell?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k), spec
 }
 
 // get issues one request, draining the body so connections are reused.
 // 422 (target_unreachable) is a valid semantic answer for depth queries
 // at slow-decay parameter points, not a service failure.
-func get(client *http.Client, url string) error {
+func get(client *http.Client, url string) (int, []byte, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return resp.StatusCode, nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	return nil
+	return resp.StatusCode, body, nil
+}
+
+// verifySamples recomputes each sampled answer on a local cold oracle
+// and compares bitwise. Go's JSON float64 round-trip is exact, so a
+// served answer equals the local one iff every float matches to the bit
+// — the cross-replica / snapshot / fallback identity contract.
+func verifySamples(samples []sample) (verified, mismatches int, firstErr error) {
+	if len(samples) == 0 {
+		return 0, 0, nil
+	}
+	o := oracle.New(0)
+	fail := func(s sample, format string, args ...any) {
+		mismatches++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s alpha=%g frac=%g k=%d: %s",
+				s.spec.op, s.spec.alpha, s.spec.frac, s.spec.k, fmt.Sprintf(format, args...))
+		}
+	}
+	for _, s := range samples {
+		verified++
+		ph := s.spec.frac * (1 - s.spec.alpha)
+		switch s.spec.op {
+		case "cell", "failure":
+			var got struct {
+				P float64 `json:"p"`
+			}
+			if err := json.Unmarshal(s.body, &got); err != nil {
+				fail(s, "bad body: %v", err)
+				continue
+			}
+			var want float64
+			var err error
+			if s.spec.op == "cell" {
+				want, err = o.TableCell(s.spec.frac, s.spec.k, s.spec.alpha)
+			} else {
+				want, err = o.SettlementFailure(s.spec.alpha, ph, s.spec.k)
+			}
+			if err != nil {
+				fail(s, "local compute: %v", err)
+			} else if math.Float64bits(got.P) != math.Float64bits(want) {
+				fail(s, "served %v, local %v", got.P, want)
+			}
+		case "curve":
+			var got struct {
+				Curve []float64 `json:"curve"`
+			}
+			if err := json.Unmarshal(s.body, &got); err != nil {
+				fail(s, "bad body: %v", err)
+				continue
+			}
+			want, err := o.SettlementCurve(s.spec.alpha, ph, s.spec.k)
+			if err != nil {
+				fail(s, "local compute: %v", err)
+			} else if !slices.Equal(got.Curve, want) {
+				fail(s, "curve differs (len %d vs %d)", len(got.Curve), len(want))
+			}
+		case "bracket":
+			var got struct {
+				Lower float64 `json:"lower"`
+				Upper float64 `json:"upper"`
+			}
+			if err := json.Unmarshal(s.body, &got); err != nil {
+				fail(s, "bad body: %v", err)
+				continue
+			}
+			lo, hi, err := o.SettlementBracket(s.spec.alpha, ph, s.spec.k, s.spec.tau)
+			if err != nil {
+				fail(s, "local compute: %v", err)
+			} else if math.Float64bits(got.Lower) != math.Float64bits(lo) || math.Float64bits(got.Upper) != math.Float64bits(hi) {
+				fail(s, "served [%v,%v], local [%v,%v]", got.Lower, got.Upper, lo, hi)
+			}
+		case "depth":
+			want, err := o.ConfirmationDepth(s.spec.alpha, ph, s.spec.target, s.spec.kmax)
+			if s.status == http.StatusUnprocessableEntity {
+				if !errors.Is(err, settlement.ErrTargetUnreachable) {
+					fail(s, "served 422 but local compute gave depth %d, err %v", want, err)
+				}
+				continue
+			}
+			var got struct {
+				Depth int `json:"depth"`
+			}
+			if jerr := json.Unmarshal(s.body, &got); jerr != nil {
+				fail(s, "bad body: %v", jerr)
+				continue
+			}
+			if err != nil {
+				fail(s, "local compute: %v", err)
+			} else if got.Depth != want {
+				fail(s, "served depth %d, local %d", got.Depth, want)
+			}
+		}
+	}
+	return verified, mismatches, firstErr
 }
 
 // percentile reads the q-quantile from sorted samples (q = 1 is the max).
@@ -242,4 +478,136 @@ func percentile(sorted []float64, q float64) float64 {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// cluster is the -chaos topology: two serve replicas sharing a peer
+// map; replica 0 is the survivor taking the load, replica 1 the victim.
+type cluster struct {
+	bin   string
+	dir   string
+	addrs []string
+	urls  []string
+	procs []*exec.Cmd
+	done  []chan struct{} // closed when procs[i] is reaped
+}
+
+// startCluster reserves two ports, boots both replicas, and waits until
+// both are ready.
+func startCluster(bin string) *cluster {
+	cl := &cluster{bin: bin}
+	var err error
+	cl.dir, err = os.MkdirTemp("", "loadgen-chaos-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cl.addrs = append(cl.addrs, addr)
+		cl.urls = append(cl.urls, "http://"+addr)
+	}
+	cl.procs = make([]*exec.Cmd, 2)
+	cl.done = make([]chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		cl.launch(i)
+		cl.awaitReady(i, 15*time.Second)
+	}
+	log.Printf("chaos cluster up: survivor %s, victim %s", cl.urls[0], cl.urls[1])
+	return cl
+}
+
+// launch (re)starts replica i. The victim gets a snapshot so its
+// restart is a warm boot.
+func (cl *cluster) launch(i int) {
+	args := []string{
+		"-addr", cl.addrs[i],
+		"-peers", strings.Join(cl.urls, ","),
+		"-self", cl.urls[i],
+		"-snapshot", filepath.Join(cl.dir, fmt.Sprintf("replica%d.mhsnap", i)),
+		"-checkpoint", "1s",
+	}
+	cmd := exec.Command(cl.bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting replica %d: %v", i, err)
+	}
+	cl.procs[i] = cmd
+	done := make(chan struct{})
+	cl.done[i] = done
+	go func() { // reap; chaos kills are expected deaths
+		_ = cmd.Wait()
+		close(done)
+	}()
+}
+
+func (cl *cluster) awaitReady(i int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(cl.urls[i] + "/healthz/ready")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("replica %d (%s) never became ready", i, cl.urls[i])
+}
+
+func (cl *cluster) survivorURL() string { return cl.urls[0] }
+
+// killRestartCycle SIGKILLs the victim a third into the run and
+// restarts it at the halfway mark, returning the measured report.
+func (cl *cluster) killRestartCycle(duration time.Duration) *chaosReport {
+	start := time.Now()
+	killAt := duration / 3
+	downFor := duration / 6
+
+	time.Sleep(killAt)
+	if err := cl.procs[1].Process.Kill(); err != nil {
+		fatalf("killing victim: %v", err)
+	}
+	killed := time.Since(start)
+	log.Printf("chaos: victim killed at %.2fs", killed.Seconds())
+
+	time.Sleep(downFor)
+	restart := time.Now()
+	cl.launch(1)
+	cl.awaitReady(1, 15*time.Second)
+	ready := time.Since(restart)
+	log.Printf("chaos: victim restarted, ready in %.1fms", float64(ready.Microseconds())/1e3)
+
+	return &chaosReport{
+		KilledAtSec:      killed.Seconds(),
+		DownSec:          downFor.Seconds(),
+		RestartToReadyMS: float64(ready.Microseconds()) / 1e3,
+	}
+}
+
+// stop tears the topology down and removes its scratch directory. It
+// waits for every replica to exit, escalating SIGTERM to SIGKILL, so
+// loadgen never leaves a process behind holding the inherited stderr.
+func (cl *cluster) stop() {
+	for _, p := range cl.procs {
+		if p != nil && p.Process != nil {
+			_ = p.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for i, p := range cl.procs {
+		if p == nil || cl.done[i] == nil {
+			continue
+		}
+		select {
+		case <-cl.done[i]:
+		case <-time.After(15 * time.Second): // past serve's drain budget
+			_ = p.Process.Kill()
+			<-cl.done[i]
+		}
+	}
+	_ = os.RemoveAll(cl.dir)
 }

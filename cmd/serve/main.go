@@ -7,6 +7,22 @@
 // Usage:
 //
 //	serve [-addr :8080] [-cache 1024] [-workers 0]
+//	      [-snapshot oracle.mhsnap] [-checkpoint 30s]
+//	      [-peers http://a:8080,http://b:8080] [-self http://a:8080]
+//	      [-drain 10s]
+//
+// With -snapshot, the cache is persisted: a background checkpointer
+// writes a checksummed snapshot atomically every -checkpoint interval
+// (and once more at shutdown), and boot loads it back so a restart is
+// warm — every previously built curve served from the first request,
+// no DP rebuilds. A damaged snapshot is detected section-by-section,
+// quarantined to <path>.corrupt, and only the damaged keys fall back to
+// cold builds.
+//
+// With -peers/-self, replicas shard the key space by rendezvous hashing
+// and forward non-owned queries with retries, hedging, and per-peer
+// circuit breakers; any replica can still answer any query locally, so
+// peer failure degrades latency, never availability or answers.
 //
 // Endpoints (see internal/oracle.Server):
 //
@@ -16,65 +32,133 @@
 //	GET  /v1/cell?alpha=0.30&frac=0.25&k=400
 //	GET  /v1/bracket?alpha=0.25&frac=0.5&k=200&tau=1e-30
 //	POST /v1/batch              {"queries":[{"op":"cell",...},...]}
-//	GET  /healthz
-//	GET  /debug/vars            expvar: cache hits/misses, coalesced waits,
-//	                            build/extend latency, resident curve bytes
+//	GET  /healthz               liveness + cache gauge
+//	GET  /healthz/live          bare liveness probe
+//	GET  /healthz/ready         readiness (503 while booting/draining)
+//	GET  /debug/vars            expvar: cache, snapshot, and cluster stats
 //
-// SIGINT/SIGTERM drain in-flight requests and exit 0 (clean shutdown).
+// SIGINT/SIGTERM mark the replica not-ready, drain in-flight requests
+// (batches included) for up to -drain, flush a final snapshot, and exit
+// 0 (clean shutdown).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io/fs"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"multihonest/internal/faultfs"
 	"multihonest/internal/oracle"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", oracle.DefaultMaxEntries, "curve cache capacity (parameter points)")
 	workers := flag.Int("workers", 0, "batch executor pool size (0 = all CPUs)")
+	snapshot := flag.String("snapshot", "", "snapshot file for warm restarts (empty = no persistence)")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second, "background snapshot interval")
+	peers := flag.String("peers", "", "comma-separated replica base URLs, self included (empty = standalone)")
+	self := flag.String("self", "", "this replica's base URL as written in -peers")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
 	flag.Parse()
 
 	o := oracle.New(*cache)
 	o.Publish("oracle")
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           oracle.NewServer(o, *workers).Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+	srv := oracle.NewServer(o, *workers)
+	srv.SetReady(false) // not ready until the warm boot (if any) finishes
+
+	var cp *oracle.Checkpointer
+	if *snapshot != "" {
+		boot := time.Now()
+		stats, err := o.LoadSnapshotFile(faultfs.OS, *snapshot)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("no snapshot at %s; cold start", *snapshot)
+		case err != nil:
+			return fmt.Errorf("loading snapshot %s: %w", *snapshot, err)
+		case stats.Damaged():
+			log.Printf("warm boot (degraded): %d curves restored in %s; %d sections quarantined to %s.corrupt, damaged keys rebuild cold",
+				stats.Entries, time.Since(boot).Round(time.Millisecond), stats.Quarantined, *snapshot)
+		default:
+			log.Printf("warm boot: %d curves restored in %s", stats.Entries, time.Since(boot).Round(time.Millisecond))
+		}
+		cp = oracle.NewCheckpointer(o, faultfs.OS, *snapshot, *checkpoint, log.Printf)
+		go cp.Run()
 	}
 
+	handler := srv.Handler()
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		cluster := oracle.NewCluster(srv, oracle.ClusterConfig{
+			Self:  *self,
+			Peers: list,
+			Logf:  log.Printf,
+		})
+		cluster.Publish("cluster")
+		handler = cluster.Handler()
+		log.Printf("replicated serving: %d peers, self=%s", len(list), *self)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("settlement oracle listening on %s (cache %d entries)", *addr, *cache)
+	go func() { errc <- hs.Serve(ln) }()
+	srv.SetReady(true)
+	log.Printf("settlement oracle listening on %s (cache %d entries)", ln.Addr(), *cache)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case sig := <-sigc:
 		log.Printf("caught %v; draining", sig)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Stop advertising, finish what's in flight, then persist. Order
+	// matters: the final snapshot must include curves built by the very
+	// last drained batch.
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("shutdown: %v", err)
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		return err
+	}
+	if cp != nil {
+		if err := cp.Close(); err != nil {
+			return fmt.Errorf("final snapshot flush: %w", err)
+		}
+		log.Printf("final snapshot flushed to %s", *snapshot)
 	}
 	st := o.Stats()
 	log.Printf("clean shutdown: %d entries, %d hits, %d misses, %d builds, %d extends",
 		st.Entries, st.Hits, st.Misses, st.Builds, st.Extends)
+	return nil
 }

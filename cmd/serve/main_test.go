@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary impersonate the real command: when
+// re-executed with SERVE_RUN_MAIN=1 it runs main() on its own arguments,
+// so the lifecycle tests drive the true flag-parsing, signal handling,
+// and snapshot path without building a second binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// replica is a re-exec'd serve process under test control.
+type replica struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+	done   chan error
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startReplica launches the command and waits for its listen line. An
+// ephemeral -addr is prepended unless the caller passes its own.
+func startReplica(t *testing.T, args ...string) *replica {
+	t.Helper()
+	if !slices.Contains(args, "-addr") {
+		args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SERVE_RUN_MAIN=1")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := &replica{cmd: cmd, stderr: &bytes.Buffer{}, done: make(chan error, 1)}
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			r.stderr.WriteString(line + "\n")
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { r.done <- cmd.Wait() }()
+
+	select {
+	case r.addr = <-addrc:
+	case err := <-r.done:
+		t.Fatalf("serve exited before listening: %v\nstderr:\n%s", err, r.stderr)
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("serve never listened\nstderr:\n%s", r.stderr)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			<-r.done
+		}
+	})
+	return r
+}
+
+func (r *replica) url(path string) string { return "http://" + r.addr + path }
+
+// waitExit sends the signal and requires a clean (code 0) exit.
+func (r *replica) waitExit(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := r.cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-r.done:
+		if err != nil {
+			t.Fatalf("serve exited uncleanly: %v\nstderr:\n%s", err, r.stderr)
+		}
+	case <-time.After(15 * time.Second):
+		_ = r.cmd.Process.Kill()
+		t.Fatalf("serve did not exit after %v\nstderr:\n%s", sig, r.stderr)
+	}
+}
+
+func waitReady(t *testing.T, r *replica) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(r.url("/healthz/ready"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("replica never became ready\nstderr:\n%s", r.stderr)
+}
+
+// heavyBatch builds a batch of distinct parameter points: enough cold DP
+// builds that the request is still in flight when SIGTERM lands.
+func heavyBatch(n, k int) []byte {
+	type q struct {
+		Op    string  `json:"op"`
+		Alpha float64 `json:"alpha"`
+		Frac  float64 `json:"frac"`
+		K     int     `json:"k"`
+	}
+	var qs []q
+	for i := 0; i < n; i++ {
+		alpha := 0.05 + 0.40*float64(i)/float64(n) // distinct basis points
+		qs = append(qs, q{Op: "cell", Alpha: alpha, Frac: 0.5, K: k})
+	}
+	body, _ := json.Marshal(struct {
+		Queries []q `json:"queries"`
+	}{qs})
+	return body
+}
+
+// TestSigtermUnderLoad: a SIGTERM racing a large in-flight batch drains
+// it to completion (200, every result present), flushes a final
+// snapshot that includes the batch's curves, and exits 0. A restart on
+// that snapshot boots warm.
+func TestSigtermUnderLoad(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "oracle.mhsnap")
+	// -checkpoint 1h: only the shutdown flush may write the snapshot, so
+	// its existence proves the final-flush path.
+	r := startReplica(t, "-snapshot", snap, "-checkpoint", "1h", "-cache", "4096", "-drain", "60s")
+	waitReady(t, r)
+
+	const nPoints = 150
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(r.url("/v1/batch"), "application/json",
+			bytes.NewReader(heavyBatch(nPoints, 300)))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resc <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Let the batch get going, then pull the trigger while it computes.
+	time.Sleep(100 * time.Millisecond)
+	if err := r.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight batch dropped during drain: %v\nstderr:\n%s", res.err, r.stderr)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("batch status %d during drain\nbody: %s", res.status, res.body)
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(res.body, &out); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	if len(out.Results) != nPoints {
+		t.Fatalf("drained batch returned %d/%d results", len(out.Results), nPoints)
+	}
+
+	select {
+	case err := <-r.done:
+		if err != nil {
+			t.Fatalf("unclean exit: %v\nstderr:\n%s", err, r.stderr)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not exit after drain\nstderr:\n%s", r.stderr)
+	}
+	for _, want := range []string{"draining", "final snapshot flushed", "clean shutdown"} {
+		if !strings.Contains(r.stderr.String(), want) {
+			t.Fatalf("shutdown log missing %q\nstderr:\n%s", want, r.stderr)
+		}
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+
+	// Restart on the snapshot: warm boot with the batch's curves.
+	r2 := startReplica(t, "-snapshot", snap, "-checkpoint", "1h", "-cache", "4096")
+	waitReady(t, r2)
+	warmRE := regexp.MustCompile(`warm boot: (\d+) curves restored in (\S+)`)
+	m := warmRE.FindStringSubmatch(r2.stderr.String())
+	if m == nil {
+		t.Fatalf("no warm boot line\nstderr:\n%s", r2.stderr)
+	}
+	var curves int
+	fmt.Sscanf(m[1], "%d", &curves)
+	if curves < nPoints {
+		t.Fatalf("warm boot restored %d curves, want ≥%d (batch not in final flush)", curves, nPoints)
+	}
+	if d, err := time.ParseDuration(m[2]); err != nil || d >= time.Second {
+		t.Fatalf("restart-to-hot took %s (err %v), want <1s", m[2], err)
+	}
+	r2.waitExit(t, syscall.SIGTERM)
+}
+
+// TestColdStartAndReadiness: no snapshot file is a clean cold start, and
+// the probes split: live is green during drain, ready goes 503.
+func TestColdStartAndReadiness(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "absent.mhsnap")
+	r := startReplica(t, "-snapshot", snap, "-checkpoint", "1h")
+	waitReady(t, r)
+	if !strings.Contains(r.stderr.String(), "cold start") {
+		t.Fatalf("missing cold-start log\nstderr:\n%s", r.stderr)
+	}
+	resp, err := http.Get(r.url("/healthz/live"))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(r.url("/v1/curve?alpha=0.25&frac=0.5&k=50"))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	r.waitExit(t, syscall.SIGTERM)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("shutdown flush after cold start missing: %v", err)
+	}
+}
+
+// TestReplicatedPair: two live replicas shard and forward; answers are
+// byte-identical through either replica, and killing one leaves the
+// other fully answering.
+func TestReplicatedPair(t *testing.T) {
+	// The peer set must be known before boot, so reserve two ports by
+	// listening and releasing. (A rebinding race is possible but the
+	// ports were just freed; the ready-wait absorbs the window.)
+	urls := make([]string, 2)
+	addrs := make([]string, 2)
+	for i := range urls {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+	peerList := strings.Join(urls, ",")
+
+	var rs []*replica
+	for i := range urls {
+		r := startReplica(t, "-addr", addrs[i], "-peers", peerList, "-self", urls[i])
+		waitReady(t, r)
+		rs = append(rs, r)
+	}
+
+	queries := []string{
+		"/v1/curve?alpha=0.25&frac=0.5&k=60",
+		"/v1/curve?alpha=0.3&frac=0.25&k=60",
+		"/v1/cell?alpha=0.1&frac=1&k=60",
+		"/v1/bracket?alpha=0.49&frac=0.01&k=60&tau=1e-30",
+	}
+	fetch := func(r *replica, q string) string {
+		t.Helper()
+		resp, err := http.Get(r.url(q))
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", q, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	want := make(map[string]string)
+	for _, q := range queries {
+		want[q] = fetch(rs[0], q)
+		if got := fetch(rs[1], q); got != want[q] {
+			t.Fatalf("%s: replicas disagree", q)
+		}
+	}
+
+	// SIGKILL replica 1 — no drain, no flush, the crash case. Replica 0
+	// must keep answering everything, identically.
+	if err := rs[1].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-rs[1].done
+	for _, q := range queries {
+		if got := fetch(rs[0], q); got != want[q] {
+			t.Fatalf("%s: answer changed after peer death", q)
+		}
+	}
+	rs[0].waitExit(t, syscall.SIGTERM)
+}

@@ -1,9 +1,18 @@
 package conformance
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"slices"
 	"testing"
+	"time"
 
 	"multihonest/internal/oracle"
 	"multihonest/internal/settlement"
@@ -18,6 +27,22 @@ func oracleInvariants() []Invariant {
 				"directly at the canonicalized parameter point.",
 			Anchor: "oracle.Oracle.SettlementCurve / oracle.Canonicalize (internal/oracle/oracle.go)",
 			Check:  checkOracleHotEqualsCold,
+		},
+		{
+			Name: "snapshot-roundtrip-identity",
+			Statement: "Encoding an oracle's cache to the checksummed snapshot " +
+				"format and decoding it into a fresh oracle reproduces every " +
+				"curve value and bracket end bitwise, with zero DP rebuilds.",
+			Anchor: "oracle.Oracle.WriteSnapshot / LoadSnapshot (internal/oracle/snapshot.go)",
+			Check:  checkSnapshotRoundtripIdentity,
+		},
+		{
+			Name: "failover-answer-identity",
+			Statement: "A replica answering a query whose shard owner is dead — " +
+				"retries exhausted, degraded local-compute fallback — returns " +
+				"bytes identical to a fresh cold compute at the same point.",
+			Anchor: "oracle.Cluster.forwardOrHedge (internal/oracle/cluster.go) + lattice.Curve's canonical capacity ladder",
+			Check:  checkFailoverAnswerIdentity,
 		},
 	}
 }
@@ -67,5 +92,123 @@ func checkOracleHotEqualsCold(t *testing.T, r *rand.Rand) {
 		if st.Misses < 1 || st.Hits < 1 {
 			t.Fatalf("trial %d: stats %+v show no miss-then-hit pattern", trial, st)
 		}
+	}
+}
+
+func checkSnapshotRoundtripIdentity(t *testing.T, r *rand.Rand) {
+	for trial := 0; trial < 3; trial++ {
+		p := randParams(t, r)
+		alpha, ph := p.PA(), p.Ph
+		k := 20 + r.Intn(40)
+
+		live := oracle.New(8)
+		curve, err := live.SettlementCurve(alpha, ph, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, err := live.SettlementBracket(alpha, ph, k, 1e-30)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if n, err := live.WriteSnapshot(&buf); err != nil || n == 0 {
+			t.Fatalf("trial %d: snapshot write: n=%d err=%v", trial, n, err)
+		}
+		restored := oracle.New(8)
+		stats, err := restored.LoadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Damaged() {
+			t.Fatalf("trial %d: clean snapshot reported damage: %+v", trial, stats)
+		}
+
+		rcurve, err := restored.SettlementCurve(alpha, ph, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(curve, rcurve) {
+			t.Fatalf("trial %d: restored curve differs from live curve", trial)
+		}
+		rlo, rhi, err := restored.SettlementBracket(alpha, ph, k, 1e-30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rlo != lo || rhi != hi {
+			t.Fatalf("trial %d: restored bracket [%v,%v] != live [%v,%v]", trial, rlo, rhi, lo, hi)
+		}
+		if st := restored.Stats(); st.Builds != 0 {
+			t.Fatalf("trial %d: restored oracle rebuilt %d curves; snapshot served nothing", trial, st.Builds)
+		}
+	}
+}
+
+func checkFailoverAnswerIdentity(t *testing.T, r *rand.Rand) {
+	o := oracle.New(0)
+	srv := oracle.NewServer(o, 0)
+
+	// A peer that owns part of the key space but is dead: a port that was
+	// just reserved and released, so every forward attempt fails fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	var cl *oracle.Cluster
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		cl.ServeHTTP(w, req)
+	}))
+	defer hs.Close()
+	cl = oracle.NewCluster(srv, oracle.ClusterConfig{
+		Self:       hs.URL,
+		Peers:      []string{hs.URL, dead},
+		RetryBase:  time.Millisecond,
+		RetryCap:   2 * time.Millisecond,
+		HedgeAfter: -1, // deterministic: always the fallback path, never a race
+	})
+
+	fallbacksSeen := false
+	for trial := 0; trial < 12; trial++ {
+		p := randParams(t, r)
+		alpha, ph := p.PA(), p.Ph
+		k := 20 + r.Intn(20)
+
+		resp, err := http.Get(fmt.Sprintf("%s/v1/failure?alpha=%g&ph=%g&k=%d", hs.URL, alpha, ph, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: status %d under peer failure: %s", trial, resp.StatusCode, body)
+		}
+		var got struct {
+			P float64 `json:"p"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+
+		// The cold path: a fresh local compute at the canonicalized point.
+		_, cp, err := oracle.Canonicalize(alpha, ph, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := settlement.New(cp).ViolationProbability(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.P) != math.Float64bits(want) {
+			t.Fatalf("trial %d: answer under peer failure %v != cold path %v", trial, got.P, want)
+		}
+		if cl.Stats().LocalFallbacks > 0 {
+			fallbacksSeen = true
+		}
+	}
+	if !fallbacksSeen {
+		t.Fatal("no query exercised the degraded fallback path (all keys self-owned?)")
 	}
 }

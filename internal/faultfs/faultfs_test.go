@@ -1,0 +1,192 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFlakyShortWrite: the write budget is honored across writes, the
+// allowed prefix lands on disk (the crash-mid-checkpoint state), and the
+// failure is ErrInjected.
+func TestFlakyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFlaky(OS)
+	fs.LimitWriteBytes(10)
+
+	f, err := fs.Create(filepath.Join(dir, "snap.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("0123456")); n != 7 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("89abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: err=%v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("second write wrote %d bytes, want the 3-byte budget remainder", n)
+	}
+	f.Close()
+
+	data, err := os.ReadFile(filepath.Join(dir, "snap.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "012345689a" {
+		t.Fatalf("on-disk prefix %q, want %q", data, "012345689a")
+	}
+}
+
+// TestFlakyRenameSyncCreate: armed rename/sync/create faults fire once
+// each and then clear.
+func TestFlakyRenameSyncCreate(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFlaky(OS)
+
+	fs.FailRenames(1)
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: %v, want ErrInjected", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("second rename should pass through: %v", err)
+	}
+
+	fs.FailSyncs(1)
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir: %v, want ErrInjected", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("second syncdir should pass through: %v", err)
+	}
+
+	fs.FailCreates(1)
+	if _, err := fs.Create(filepath.Join(dir, "c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create: %v, want ErrInjected", err)
+	}
+	f, err := fs.Create(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatalf("second create should pass through: %v", err)
+	}
+	f.Close()
+}
+
+// TestFlakyFlipByte: exactly the armed byte is corrupted on read,
+// whatever chunking the reader uses.
+func TestFlakyFlipByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlaky(OS)
+	fs.FlipByte(6, 0x01)
+
+	rc, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// Read byte by byte to exercise the offset tracking across reads.
+	var got []byte
+	buf := make([]byte, 1)
+	for {
+		n, err := rc.Read(buf)
+		if n > 0 {
+			got = append(got, buf[0])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "hello vorld" {
+		t.Fatalf("read %q, want bit 0 of byte 6 flipped (%q)", got, "hello vorld")
+	}
+}
+
+// TestTransportFaults: error bursts fail exactly n requests, drops are
+// deterministic in the seed, and a clean transport passes through.
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, 1)
+	client := &http.Client{Transport: tr}
+
+	tr.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("burst request %d: %v, want ErrInjected", i, err)
+		}
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-burst request: %v", err)
+	}
+	resp.Body.Close()
+
+	// Deterministic drops: two transports with one seed inject the same
+	// pattern.
+	pattern := func(seed int64) []bool {
+		tr := NewTransport(nil, seed)
+		tr.Drop(0.5)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop pattern diverged at request %d", i)
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("drop(0.5) injected %d/%d faults; want a mix", dropped, len(a))
+	}
+	if inj, passed := NewTransport(nil, 1).Counts(); inj != 0 || passed != 0 {
+		t.Fatalf("fresh transport counts %d/%d", inj, passed)
+	}
+}
+
+// TestTransportSpike: armed latency is injected before the request.
+func TestTransportSpike(t *testing.T) {
+	tr := NewTransport(http.DefaultTransport, 3)
+	var slept time.Duration
+	tr.sleepFunc = func(d time.Duration) { slept += d }
+	tr.Spike(1.0, 50*time.Millisecond)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slept != 50*time.Millisecond {
+		t.Fatalf("injected latency %v, want 50ms", slept)
+	}
+}

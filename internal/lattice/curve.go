@@ -1,6 +1,9 @@
 package lattice
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Builder constructs a fresh, seeded engine whose sweep is faithful (exact,
 // or rigorously conservative for sticky-reach chains) for every horizon
@@ -16,10 +19,25 @@ type Builder func(kCap int) (*Engine, error)
 // is what makes doubling searches (core.ConfirmationDepth) linear instead
 // of quadratic in the final depth.
 //
+// # Canonical geometry ladder
+//
 // For horizon-dependent geometries (the exact chain, whose caps must cover
-// the largest horizon) extension past the built capacity rebuilds with at
-// least doubled capacity and replays, so total work stays within 2× of a
-// single sweep to the final horizon.
+// the largest horizon) the engine capacity is not chosen from the request
+// history but from a fixed ladder: the readout at horizon t is always
+// computed by an engine built with capacity capFor(t) — the smallest
+// power of two ≥ t, floored at ladderFloor. Growth walks the ladder step
+// by step, silently replaying the deterministic sweep through horizons
+// already published and appending only the slots the new step owns; a
+// published value is never overwritten. The geometry under which slot t
+// was computed is therefore a function of t alone, which makes the value
+// at horizon t byte-identical across ALL curves sharing a Builder — no
+// matter how Extend calls were batched, interleaved with Restore, or
+// ordered on the way to t. This bitwise path-independence is what lets
+// internal/oracle promise that a replica failover, a snapshot restart, or
+// a cold verifier recompute produces the very same float64 answers
+// (the failover-answer-identity conformance invariant). The replayed
+// prefixes cost at most a small constant factor over one uninterrupted
+// sweep (capacities are geometric, so the ladder work telescopes).
 //
 // # Concurrency contract
 //
@@ -28,12 +46,10 @@ type Builder func(kCap int) (*Engine, error)
 // ValuesUpTo, Len, MemBytes) observe them without synchronization. The
 // contract for a shared curve is single-owner locking: exactly one lock
 // guards both Extend and every read of the same handle. Extension is
-// idempotent (Extend(k) with k ≤ Len() touches nothing) and deterministic
-// (the value at horizon t is byte-identical however Extend calls were
-// batched on the way to t), so serialized extend-then-read under one lock
-// yields answers identical to a private cold build — this is the property
-// internal/oracle relies on when it extends hot cached curves in place
-// under per-entry locks.
+// idempotent (Extend(k) with k ≤ Len() touches nothing) and deterministic,
+// so serialized extend-then-read under one lock yields answers identical
+// to a private cold build — this is the property internal/oracle relies on
+// when it extends hot cached curves in place under per-entry locks.
 type Curve struct {
 	build Builder
 	fixed bool
@@ -53,31 +69,59 @@ func NewCurve(b Builder, fixedGeometry bool) *Curve {
 // Len returns the largest horizon computed so far.
 func (c *Curve) Len() int { return len(c.lower) }
 
+// ladderFloor is the smallest canonical engine capacity. Small enough
+// that a cache full of shallow curves stays cheap, large enough that
+// shallow horizons don't churn through several rebuilds.
+const ladderFloor = 16
+
+// capFor returns the canonical engine capacity covering horizon t: the
+// smallest power of two ≥ t, floored at ladderFloor. Making the capacity
+// a pure function of the horizon — never of the extension history — is
+// what pins the float64 readout at each horizon to a single canonical
+// bit pattern (see the type comment).
+func capFor(t int) int {
+	c := ladderFloor
+	for c < t {
+		c <<= 1
+	}
+	return c
+}
+
 // Extend advances the cached sweep so that every horizon 1..k is available.
-// It is a no-op when k ≤ Len().
+// It is a no-op when k ≤ Len(). Published readouts are never recomputed:
+// a rebuild at the next ladder capacity replays the deterministic sweep
+// silently through the horizons already on record and appends from there.
 func (c *Curve) Extend(k int) error {
 	if k < 1 {
 		return fmt.Errorf("lattice: horizon %d must be ≥ 1", k)
 	}
-	if k <= len(c.lower) {
-		return nil
-	}
-	if c.eng == nil || (!c.fixed && k > c.cap) {
-		kCap := k
-		if c.eng != nil {
-			kCap = max(k, 2*c.cap)
+	for len(c.lower) < k {
+		if c.eng == nil || (!c.fixed && capFor(len(c.lower)+1) != c.cap) {
+			kCap := k
+			if !c.fixed {
+				kCap = capFor(len(c.lower) + 1)
+			}
+			eng, err := c.build(kCap)
+			if err != nil {
+				return err
+			}
+			c.eng, c.cap = eng, kCap
+			// Replay through the published prefix without touching it: the
+			// sweep is deterministic, so the engine lands in exactly the
+			// state that produced (or would have produced) those readouts.
+			for t := 0; t < len(c.lower); t++ {
+				c.eng.Step()
+			}
 		}
-		eng, err := c.build(kCap)
-		if err != nil {
-			return err
+		stop := k
+		if !c.fixed && c.cap < k {
+			stop = c.cap // this ladder step owns horizons ≤ cap only
 		}
-		c.eng, c.cap = eng, kCap
-		c.lower, c.drop = c.lower[:0], c.drop[:0]
-	}
-	for t := len(c.lower); t < k; t++ {
-		c.eng.Step()
-		c.lower = append(c.lower, c.eng.TailMass())
-		c.drop = append(c.drop, c.eng.Dropped())
+		for t := len(c.lower); t < stop; t++ {
+			c.eng.Step()
+			c.lower = append(c.lower, c.eng.TailMass())
+			c.drop = append(c.drop, c.eng.Dropped())
+		}
 	}
 	return nil
 }
@@ -134,4 +178,54 @@ func (c *Curve) MemBytes() int64 {
 		n += c.eng.MemBytes()
 	}
 	return n
+}
+
+// State returns copies of the curve's readout slices — the per-horizon
+// lower values and cumulative pruned-mass ledger for horizons 1..Len().
+// Together with the Builder these fully determine every answer the curve
+// can give, which is what snapshot serialization (internal/oracle)
+// persists: the engine's transient mass grid is deliberately excluded, so
+// a restored curve re-runs the deterministic sweep if it is ever extended
+// past the snapshotted horizon.
+func (c *Curve) State() (lower, drop []float64) {
+	lower = make([]float64, len(c.lower))
+	copy(lower, c.lower)
+	drop = make([]float64, len(c.drop))
+	copy(drop, c.drop)
+	return lower, drop
+}
+
+// Restore primes a fresh curve with previously computed readouts, after
+// validating that they are a plausible sweep: equal lengths, every lower
+// value a probability, and a finite, non-negative, non-decreasing ledger.
+// The slices are copied. Horizons 1..len(lower) then serve without any
+// engine work; the first Extend past the restored horizon rebuilds the
+// engine and replays the deterministic sweep from step zero, yielding
+// values byte-identical to an uninterrupted cold build (the property the
+// snapshot-roundtrip-identity conformance invariant pins).
+//
+// Restore refuses non-empty curves: restored state never overwrites
+// computed state.
+func (c *Curve) Restore(lower, drop []float64) error {
+	if c.Len() > 0 {
+		return fmt.Errorf("lattice: Restore on a curve with %d computed horizons", c.Len())
+	}
+	if len(lower) != len(drop) {
+		return fmt.Errorf("lattice: Restore length mismatch: %d lower vs %d drop", len(lower), len(drop))
+	}
+	prev := 0.0
+	for i := range lower {
+		if !(lower[i] >= 0 && lower[i] <= 1) { // positive form rejects NaN
+			return fmt.Errorf("lattice: Restore lower[%d] = %v outside [0, 1]", i, lower[i])
+		}
+		d := drop[i]
+		if !(d >= prev) || math.IsInf(d, 0) {
+			return fmt.Errorf("lattice: Restore drop[%d] = %v not a finite non-decreasing ledger (prev %v)", i, d, prev)
+		}
+		prev = d
+	}
+	c.lower = append(c.lower[:0], lower...)
+	c.drop = append(c.drop[:0], drop...)
+	c.eng, c.cap = nil, 0
+	return nil
 }

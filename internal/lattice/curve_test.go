@@ -99,6 +99,98 @@ func TestCurveBracket(t *testing.T) {
 	}
 }
 
+// TestCurveStateRestore: a curve restored from State() serves the same
+// readouts without an engine, and extending past the restored horizon
+// replays the deterministic sweep byte-identically to an uninterrupted
+// cold build — for fixed, horizon-dependent, and pruned chains alike.
+func TestCurveStateRestore(t *testing.T) {
+	cases := []struct {
+		name  string
+		fresh func() *Curve
+	}{
+		{"fixed", func() *Curve { return NewCurve(builder(Geometry{RMax: 32, SMin: -32, SMax: 32}, true, 0), true) }},
+		{"exact", func() *Curve { return NewCurve(exactBuilder(0), false) }},
+		{"pruned", func() *Curve { return NewCurve(exactBuilder(1e-10), false) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.fresh()
+			if err := orig.Extend(40); err != nil {
+				t.Fatal(err)
+			}
+			lower, drop := orig.State()
+
+			restored := tc.fresh()
+			if err := restored.Restore(lower, drop); err != nil {
+				t.Fatal(err)
+			}
+			if restored.Len() != 40 {
+				t.Fatalf("restored Len %d, want 40", restored.Len())
+			}
+			for k := 1; k <= 40; k++ {
+				lo, hi := orig.Bracket(k)
+				rlo, rhi := restored.Bracket(k)
+				if lo != rlo || hi != rhi {
+					t.Fatalf("%s k=%d: restored bracket [%v,%v] != original [%v,%v]", tc.name, k, rlo, rhi, lo, hi)
+				}
+			}
+
+			// Extend past the restored horizon: the rebuild must replay the
+			// whole sweep bit-for-bit, including the already-restored prefix.
+			if err := restored.Extend(70); err != nil {
+				t.Fatal(err)
+			}
+			cold := tc.fresh()
+			if err := cold.Extend(70); err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= 70; k++ {
+				lo, hi := cold.Bracket(k)
+				rlo, rhi := restored.Bracket(k)
+				if lo != rlo || hi != rhi {
+					t.Fatalf("%s k=%d: post-restore extension [%v,%v] != cold [%v,%v]", tc.name, k, rlo, rhi, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestCurveRestoreRejects: Restore validates its input — length
+// mismatches, out-of-range probabilities, NaNs, decreasing ledgers, and
+// already-computed curves are all refused.
+func TestCurveRestoreRejects(t *testing.T) {
+	fresh := func() *Curve { return NewCurve(exactBuilder(0), false) }
+	cases := []struct {
+		name        string
+		lower, drop []float64
+	}{
+		{"length-mismatch", []float64{0.5}, []float64{0, 0}},
+		{"lower-above-one", []float64{1.5}, []float64{0}},
+		{"lower-negative", []float64{-0.1}, []float64{0}},
+		{"lower-nan", []float64{math.NaN()}, []float64{0}},
+		{"drop-negative", []float64{0.5}, []float64{-1e-20}},
+		{"drop-nan", []float64{0.5, 0.4}, []float64{0, math.NaN()}},
+		{"drop-decreasing", []float64{0.5, 0.4}, []float64{1e-9, 1e-10}},
+		{"drop-inf", []float64{0.5}, []float64{math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if err := fresh().Restore(tc.lower, tc.drop); err == nil {
+			t.Errorf("%s: Restore accepted invalid state", tc.name)
+		}
+	}
+	c := fresh()
+	if err := c.Extend(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore([]float64{0.5}, []float64{0}); err == nil {
+		t.Error("Restore accepted a non-empty curve")
+	}
+	// Empty state is a valid no-op restore.
+	if err := fresh().Restore(nil, nil); err != nil {
+		t.Errorf("empty restore rejected: %v", err)
+	}
+}
+
 // TestCurveErrors: bad horizons and builder failures surface.
 func TestCurveErrors(t *testing.T) {
 	c := NewCurve(exactBuilder(0), false)

@@ -1,0 +1,425 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"multihonest/internal/faultfs"
+)
+
+// replicaSet spins up n replicas, each a full Oracle+Server+Cluster over
+// an httptest server, all agreeing on the peer list.
+type replicaSet struct {
+	oracles  []*Oracle
+	clusters []*Cluster
+	servers  []*httptest.Server
+	urls     []string
+}
+
+// newReplicaSet builds the set; configure is applied to each replica's
+// config (self/peers/logf are filled in afterwards).
+func newReplicaSet(t *testing.T, n int, configure func(i int, cfg *ClusterConfig)) *replicaSet {
+	t.Helper()
+	rs := &replicaSet{}
+
+	// The peer URLs must exist before any cluster is constructed, so each
+	// server starts on a handler that indirects through a swappable slot.
+	type slot struct {
+		mu sync.RWMutex
+		h  http.Handler
+	}
+	slots := make([]*slot, n)
+	for i := range slots {
+		s := &slot{}
+		slots[i] = s
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.mu.RLock()
+			h := s.h
+			s.mu.RUnlock()
+			if h == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		rs.servers = append(rs.servers, srv)
+		rs.urls = append(rs.urls, srv.URL)
+	}
+	t.Cleanup(func() {
+		for _, srv := range rs.servers {
+			srv.Close()
+		}
+	})
+
+	for i := 0; i < n; i++ {
+		o := New(0)
+		cfg := ClusterConfig{
+			RetryBase:  time.Millisecond,
+			RetryCap:   4 * time.Millisecond,
+			HedgeAfter: -1, // tests opt in explicitly
+			Logf:       t.Logf,
+		}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		cfg.Self = rs.urls[i]
+		cfg.Peers = rs.urls
+		c := NewCluster(NewServer(o, 1), cfg)
+		rs.oracles = append(rs.oracles, o)
+		rs.clusters = append(rs.clusters, c)
+		slots[i].mu.Lock()
+		slots[i].h = c.Handler()
+		slots[i].mu.Unlock()
+	}
+	return rs
+}
+
+func (rs *replicaSet) get(t *testing.T, replica int, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(rs.urls[replica] + path)
+	if err != nil {
+		t.Fatalf("GET %s via replica %d: %v", path, replica, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func testQueries(k int) []string {
+	var qs []string
+	for _, pt := range testPoints {
+		qs = append(qs, fmt.Sprintf("/v1/curve?alpha=%g&frac=%g&k=%d", pt.alpha, pt.frac, k))
+	}
+	return qs
+}
+
+// TestClusterSharding: every replica answers every query bitwise
+// identically, each chain key is built on exactly one replica, and
+// cross-replica queries actually forward.
+func TestClusterSharding(t *testing.T) {
+	rs := newReplicaSet(t, 3, nil)
+
+	// Reference answers from a standalone single-node server.
+	ref := httptest.NewServer(NewServer(New(0), 1).Handler())
+	defer ref.Close()
+
+	const k = 60
+	for _, q := range testQueries(k) {
+		want := ""
+		if resp, err := http.Get(ref.URL + q); err != nil {
+			t.Fatal(err)
+		} else {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			want = string(b)
+		}
+		for replica := range rs.urls {
+			status, body := rs.get(t, replica, q)
+			if status != http.StatusOK {
+				t.Fatalf("replica %d %s: status %d: %s", replica, q, status, body)
+			}
+			if body != want {
+				t.Fatalf("replica %d %s: answer differs from reference", replica, q)
+			}
+		}
+	}
+
+	// Sharding: 4 distinct chain keys, 4 total builds across the cluster
+	// (each key cold-built once, at its owner, never at a forwarder).
+	builds := int64(0)
+	for _, o := range rs.oracles {
+		builds += o.Stats().Builds
+	}
+	if builds != int64(len(testPoints)) {
+		t.Fatalf("cluster ran %d builds for %d chain keys; sharding leaked", builds, len(testPoints))
+	}
+	forwards := int64(0)
+	for _, c := range rs.clusters {
+		forwards += c.Stats().Forwards
+	}
+	if forwards == 0 {
+		t.Fatal("no query was ever forwarded; sharding inert")
+	}
+}
+
+// TestClusterOwnerRendezvous: the replicas agree on every key's owner,
+// and ownership actually spreads across peers.
+func TestClusterOwnerRendezvous(t *testing.T) {
+	rs := newReplicaSet(t, 3, nil)
+	owners := make(map[string]bool)
+	for bp := 0; bp < 5000; bp += 50 {
+		key := fmt.Sprintf("%d/%d", bp, 10000-bp)
+		owner := rs.clusters[0].owner(key)
+		for i, c := range rs.clusters {
+			if got := c.owner(key); got != owner {
+				t.Fatalf("replica %d maps %s to %s; replica 0 to %s", i, key, got, owner)
+			}
+		}
+		owners[owner] = true
+	}
+	if len(owners) != len(rs.urls) {
+		t.Fatalf("HRW used %d of %d replicas over 100 keys", len(owners), len(rs.urls))
+	}
+}
+
+// TestClusterFailover: with the owner dead, any replica still answers —
+// locally, byte-identically — inside the forwarding deadline.
+func TestClusterFailover(t *testing.T) {
+	rs := newReplicaSet(t, 2, func(i int, cfg *ClusterConfig) {
+		cfg.ForwardTimeout = time.Second
+		cfg.MaxAttempts = 2
+		cfg.BreakerThreshold = 2
+	})
+
+	// Find a query replica 1 owns, so asking replica 0 must forward.
+	const k = 40
+	var q string
+	for _, cand := range testQueries(k) {
+		r, _ := http.NewRequest(http.MethodGet, cand, nil)
+		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
+			q = cand
+			break
+		}
+	}
+	if q == "" {
+		t.Fatal("no test point owned by replica 1")
+	}
+
+	// Reference answer while both replicas are up.
+	_, want := rs.get(t, 0, q)
+
+	// Kill the owner. Queries via replica 0 must still answer, identically.
+	rs.servers[1].Close()
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		status, body := rs.get(t, 0, q)
+		if status != http.StatusOK {
+			t.Fatalf("query %d after owner death: status %d", i, status)
+		}
+		if body != want {
+			t.Fatalf("query %d after owner death: answer differs", i)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("query %d took %v; deadline not honored", i, el)
+		}
+	}
+	st := rs.clusters[0].Stats()
+	if st.LocalFallbacks == 0 {
+		t.Fatalf("owner dead but no local fallbacks recorded: %+v", st)
+	}
+	// The breaker opened after the threshold, so later queries skipped the
+	// dead peer instead of burning retries.
+	if st.BreakerStates[rs.urls[1]] != "open" {
+		t.Fatalf("breaker for dead peer is %q, want open", st.BreakerStates[rs.urls[1]])
+	}
+}
+
+// TestClusterRetry: transient transport faults are retried and the
+// query still lands on the owner.
+func TestClusterRetry(t *testing.T) {
+	var tr *faultfs.Transport
+	rs := newReplicaSet(t, 2, func(i int, cfg *ClusterConfig) {
+		if i == 0 {
+			tr = faultfs.NewTransport(nil, 42)
+			cfg.Transport = tr
+		}
+		cfg.MaxAttempts = 3
+	})
+
+	const k = 40
+	var q string
+	for _, cand := range testQueries(k) {
+		r, _ := http.NewRequest(http.MethodGet, cand, nil)
+		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
+			q = cand
+			break
+		}
+	}
+	_, want := rs.get(t, 1, q) // owner's direct answer
+
+	tr.FailNext(2) // burst: first two forward attempts die in transit
+	status, body := rs.get(t, 0, q)
+	if status != http.StatusOK || body != want {
+		t.Fatalf("retried forward: status %d, match=%v", status, body == want)
+	}
+	st := rs.clusters[0].Stats()
+	if st.ForwardRetries < 2 {
+		t.Fatalf("recorded %d retries, want ≥2", st.ForwardRetries)
+	}
+	if st.LocalFallbacks != 0 {
+		t.Fatalf("transient faults should not fall back locally: %+v", st)
+	}
+}
+
+// TestClusterHedge: a slow owner is raced by a hedged local compute and
+// the caller gets the (identical) answer fast.
+func TestClusterHedge(t *testing.T) {
+	stall := make(chan struct{})
+	rs := newReplicaSet(t, 2, func(i int, cfg *ClusterConfig) {
+		if i == 0 {
+			cfg.HedgeAfter = 5 * time.Millisecond
+			cfg.ForwardTimeout = 30 * time.Second
+			// The "slow peer": every forwarded byte waits on stall.
+			cfg.Transport = stallTransport{stall: stall}
+		}
+	})
+	defer close(stall)
+
+	const k = 40
+	var q string
+	for _, cand := range testQueries(k) {
+		r, _ := http.NewRequest(http.MethodGet, cand, nil)
+		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
+			q = cand
+			break
+		}
+	}
+	ref := httptest.NewServer(NewServer(New(0), 1).Handler())
+	defer ref.Close()
+	resp, err := http.Get(ref.URL + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	start := time.Now()
+	status, body := rs.get(t, 0, q)
+	if status != http.StatusOK {
+		t.Fatalf("hedged query: status %d", status)
+	}
+	if body != string(wantB) {
+		t.Fatal("hedged local answer differs from reference")
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("hedge did not rescue the query: took %v", el)
+	}
+	if st := rs.clusters[0].Stats(); st.Hedges == 0 {
+		t.Fatalf("no hedge recorded: %+v", st)
+	}
+}
+
+// stallTransport blocks every request until its channel closes.
+type stallTransport struct{ stall chan struct{} }
+
+func (s stallTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	select {
+	case <-s.stall:
+	case <-req.Context().Done():
+	}
+	return nil, fmt.Errorf("stalled: %w", req.Context().Err())
+}
+
+// TestClusterLoopPrevention: a request already carrying the forwarded
+// header is answered locally even by a non-owner, so peer-map skew
+// costs a hop, never a loop.
+func TestClusterLoopPrevention(t *testing.T) {
+	rs := newReplicaSet(t, 2, nil)
+	const k = 40
+	for _, q := range testQueries(k) {
+		req, err := http.NewRequest(http.MethodGet, rs.urls[0]+q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(clusterForwardHeader, "test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("forwarded-marked %s: status %d", q, resp.StatusCode)
+		}
+	}
+	st := rs.clusters[0].Stats()
+	if st.LoopServes != int64(len(testPoints)) {
+		t.Fatalf("loop-marked requests served %d, want %d", st.LoopServes, len(testPoints))
+	}
+	if st.Forwards != 0 {
+		t.Fatalf("loop-marked request was re-forwarded: %+v", st)
+	}
+}
+
+// TestBreakerTransitions drives the circuit breaker through its state
+// machine with a fake clock.
+func TestBreakerTransitions(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := &breaker{
+		threshold: 3,
+		cooldown:  time.Minute,
+		peer:      "p",
+		logf:      t.Logf,
+		now:       func() time.Time { return clock },
+	}
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+	}
+	if b.stateName() != "open" {
+		t.Fatalf("after threshold failures: %s, want open", b.stateName())
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a forward before cooldown")
+	}
+
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.stateName() != "half-open" {
+		t.Fatalf("probing breaker is %s, want half-open", b.stateName())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	b.failure()
+	if b.stateName() != "open" || b.allow() {
+		t.Fatal("failed probe must re-open and restart the cooldown")
+	}
+
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.success()
+	if b.stateName() != "closed" || !b.allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+// TestServerReadiness: liveness is unconditional, readiness follows
+// SetReady.
+func TestServerReadiness(t *testing.T) {
+	s := NewServer(New(0), 1)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	check := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	check("/healthz/live", http.StatusOK)
+	check("/healthz/ready", http.StatusOK)
+	s.SetReady(false)
+	check("/healthz/live", http.StatusOK)
+	check("/healthz/ready", http.StatusServiceUnavailable)
+	s.SetReady(true)
+	check("/healthz/ready", http.StatusOK)
+}

@@ -140,6 +140,9 @@ type Stats struct {
 	BracketQueries     int64 `json:"bracket_queries"`
 	CellQueries        int64 `json:"cell_queries"`
 	BatchQueries       int64 `json:"batch_queries"`
+	SnapshotSaves      int64 `json:"snapshot_saves"`
+	SnapshotLoaded     int64 `json:"snapshot_loaded"`
+	SnapshotBadSects   int64 `json:"snapshot_quarantined_sections"`
 }
 
 // Oracle is the concurrent settlement query engine. Construct with New;
@@ -155,6 +158,7 @@ type Oracle struct {
 	builds, extends, buildNS, extendNS      atomic.Int64
 	residentBytes                           atomic.Int64
 	depthQ, curveQ, bracketQ, cellQ, batchQ atomic.Int64
+	snapSaves, snapLoaded, snapQuarantined  atomic.Int64
 }
 
 // New returns an oracle whose cache holds at most maxEntries parameter
@@ -457,6 +461,9 @@ func (o *Oracle) Stats() Stats {
 		BracketQueries:     o.bracketQ.Load(),
 		CellQueries:        o.cellQ.Load(),
 		BatchQueries:       o.batchQ.Load(),
+		SnapshotSaves:      o.snapSaves.Load(),
+		SnapshotLoaded:     o.snapLoaded.Load(),
+		SnapshotBadSects:   o.snapQuarantined.Load(),
 	}
 }
 

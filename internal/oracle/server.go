@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"multihonest/internal/settlement"
@@ -24,17 +25,29 @@ import (
 //	GET  /v1/bracket?alpha=&ph=|frac=&k=&tau=       certified bracket
 //	POST /v1/batch                                  planned multi-query
 //	GET  /healthz                                   liveness + cache gauge
+//	GET  /healthz/live                              bare liveness probe
+//	GET  /healthz/ready                             readiness (503 while warming/draining)
 //	GET  /debug/vars                                expvar (incl. oracle stats)
 type Server struct {
 	o       *Oracle
 	workers int // batch executor pool size (≤ 0 selects all CPUs)
 	start   time.Time
+	ready   atomic.Bool
 }
 
 // NewServer wraps an oracle; workers sizes the batch executor pool.
+// The server starts ready; callers that warm-boot from a snapshot or
+// drain on shutdown gate traffic with SetReady.
 func NewServer(o *Oracle, workers int) *Server {
-	return &Server{o: o, workers: workers, start: time.Now()}
+	s := &Server{o: o, workers: workers, start: time.Now()}
+	s.ready.Store(true)
+	return s
 }
+
+// SetReady flips the readiness probe: false makes /healthz/ready answer
+// 503 so load balancers stop routing here (boot not finished, or
+// draining), without affecting liveness or in-flight queries.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -46,6 +59,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/bracket", s.handleBracket)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
@@ -327,4 +342,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Hits     int64  `json:"hits"`
 		Misses   int64  `json:"misses"`
 	}{"ok", time.Since(s.start).Milliseconds(), st.Entries, st.Hits, st.Misses})
+}
+
+// handleLive is the liveness probe: the process is up and serving; a
+// restart is only warranted when this stops answering.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"alive"})
+}
+
+// handleReady is the readiness probe: 200 only when the replica wants
+// traffic. Warm boot and drain flip it via SetReady; liveness stays
+// green throughout, so orchestrators drain instead of killing.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"not ready"})
+		return
+	}
+	st := s.o.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Entries int    `json:"entries"`
+	}{"ready", st.Entries})
 }

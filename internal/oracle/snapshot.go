@@ -1,0 +1,599 @@
+package oracle
+
+// Snapshot format (see DESIGN.md §12 for the full spec and the atomicity
+// argument):
+//
+//	file    := magic section*
+//	magic   := "MHSNAP01" (8 bytes; the version lives in the magic)
+//	section := length uint32 | crc uint32 | payload[length]
+//
+// length and crc are little-endian; crc is CRC-32C (Castagnoli) over the
+// payload. payload[0] is the section type: 1 = cache entry, 2 = footer.
+// An entry payload carries one chain — its canonical key, the main
+// curve's readouts (lower values + pruned-mass ledger), and up to
+// maxUpperCurvesPerEntry upper-bound curves keyed by saturation cap. The
+// footer carries the entry count, so a file truncated even at a section
+// boundary is detected.
+//
+// Corruption is contained at section granularity: a CRC or structural
+// failure quarantines that section (and, because the length prefix can
+// no longer be trusted, the rest of the file) while every entry decoded
+// before the damage still loads. The keys that were lost simply rebuild
+// cold on first query — corruption costs latency, never correctness.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"math"
+	"time"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/faultfs"
+	"multihonest/internal/lattice"
+	"multihonest/internal/settlement"
+)
+
+const (
+	snapMagic = "MHSNAP01"
+
+	sectionEntry  = byte(1)
+	sectionFooter = byte(2)
+
+	// MaxSnapshotSectionBytes bounds one section's payload. The largest
+	// legitimate entry is a full set of upper curves at the depth-search
+	// bound; anything past the cap is structural corruption.
+	MaxSnapshotSectionBytes = 1 << 28
+
+	// maxSnapshotCurveLen bounds a serialized upper-curve length (main
+	// curves are further bounded by MaxQueryHorizon at decode).
+	maxSnapshotCurveLen = MaxDepthKMax
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// UpperState is one serialized upper-bound chain: its saturation cap and
+// readouts.
+type UpperState struct {
+	Cap         int
+	Lower, Drop []float64
+}
+
+// SnapshotEntry is one decoded cache entry: the canonical chain key, the
+// main curve's readouts, and any upper-bound chains.
+type SnapshotEntry struct {
+	Key         Key
+	Lower, Drop []float64
+	Upper       []UpperState
+}
+
+// SnapshotStats summarizes one snapshot load (or decode).
+type SnapshotStats struct {
+	Entries     int   // sections decoded, validated and (for loads) installed
+	Skipped     int   // well-formed entries not installed (duplicate key, full cache, bad params)
+	Quarantined int   // sections rejected: CRC mismatch or structural damage
+	Truncated   bool  // file ended before its footer (or framing was lost)
+	Bytes       int64 // bytes consumed
+}
+
+// Damaged reports whether any part of the snapshot could not be trusted.
+func (s SnapshotStats) Damaged() bool { return s.Quarantined > 0 || s.Truncated }
+
+// EncodeSnapshot writes entries in the snapshot format. It is the
+// inverse of DecodeSnapshot and the serialization core of
+// Oracle.WriteSnapshot.
+func EncodeSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	for i := range entries {
+		payload := encodeEntry(&entries[i])
+		if err := writeSection(w, payload); err != nil {
+			return err
+		}
+	}
+	var footer [5]byte
+	footer[0] = sectionFooter
+	binary.LittleEndian.PutUint32(footer[1:], uint32(len(entries)))
+	return writeSection(w, footer[:])
+}
+
+func writeSection(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func encodeEntry(e *SnapshotEntry) []byte {
+	n := 1 + 4 + 4 + 8 + 4 + 16*len(e.Lower) + 1
+	for i := range e.Upper {
+		n += 8 + 16*len(e.Upper[i].Lower)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, sectionEntry)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(e.Key.AlphaBP)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(e.Key.FracBP)))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key.TauBits)
+	buf = appendCurve(buf, e.Lower, e.Drop)
+	buf = append(buf, byte(len(e.Upper)))
+	for i := range e.Upper {
+		u := &e.Upper[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(u.Cap))
+		buf = appendCurve(buf, u.Lower, u.Drop)
+	}
+	return buf
+}
+
+func appendCurve(buf []byte, lower, drop []float64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lower)))
+	for _, v := range lower {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range drop {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeSnapshot reads a snapshot stream, returning every entry that
+// decoded cleanly together with damage statistics. The error is non-nil
+// only when the stream is unusable from the start (bad magic); past the
+// magic, damage is reported in stats and the cleanly decoded prefix is
+// still returned — the caller serves those keys and cold-rebuilds the
+// rest. Allocation is bounded by the bytes actually present in the
+// stream, not by claimed lengths, so a corrupted length prefix cannot
+// balloon memory.
+func DecodeSnapshot(r io.Reader) ([]SnapshotEntry, SnapshotStats, error) {
+	var stats SnapshotStats
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapMagic {
+		return nil, stats, fmt.Errorf("oracle: not a snapshot (bad magic): %v", err)
+	}
+	stats.Bytes = int64(len(snapMagic))
+
+	var entries []SnapshotEntry
+	var payload bytes.Buffer
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// The stream ended without a footer: truncated.
+			stats.Truncated = true
+			return entries, stats, nil
+		}
+		stats.Bytes += 8
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > MaxSnapshotSectionBytes {
+			// Framing is gone; everything from here on is unreadable.
+			stats.Quarantined++
+			stats.Truncated = true
+			return entries, stats, nil
+		}
+		payload.Reset()
+		n, err := io.CopyN(&payload, r, int64(length))
+		stats.Bytes += n
+		if err != nil {
+			stats.Quarantined++
+			stats.Truncated = true
+			return entries, stats, nil
+		}
+		body := payload.Bytes()
+		if crc32.Checksum(body, castagnoli) != wantCRC {
+			// The payload cannot be trusted — and neither can the framing
+			// that follows it, since a corrupted length prefix would have
+			// desynchronized the section stream anyway.
+			stats.Quarantined++
+			stats.Truncated = true
+			return entries, stats, nil
+		}
+		switch body[0] {
+		case sectionEntry:
+			e, err := decodeEntry(body)
+			if err != nil {
+				stats.Quarantined++
+				continue // checksummed framing is intact; later sections are fine
+			}
+			entries = append(entries, e)
+			stats.Entries++
+		case sectionFooter:
+			if len(body) != 5 || binary.LittleEndian.Uint32(body[1:]) != uint32(stats.Entries+stats.Quarantined) {
+				stats.Quarantined++
+				stats.Truncated = true
+			}
+			return entries, stats, nil
+		default:
+			stats.Quarantined++
+		}
+	}
+}
+
+// decodeEntry parses one checksummed entry payload, with every length
+// validated against both the protocol bounds and the bytes actually
+// present.
+func decodeEntry(body []byte) (SnapshotEntry, error) {
+	var e SnapshotEntry
+	d := decoder{buf: body, pos: 1}
+	e.Key.AlphaBP = int(int32(d.u32()))
+	e.Key.FracBP = int(int32(d.u32()))
+	e.Key.TauBits = d.u64()
+	var err error
+	e.Lower, e.Drop, err = d.curve(MaxQueryHorizon)
+	if err != nil {
+		return e, err
+	}
+	nUpper := int(d.u8())
+	if nUpper > maxUpperCurvesPerEntry {
+		return e, fmt.Errorf("oracle: snapshot entry claims %d upper curves (max %d)", nUpper, maxUpperCurvesPerEntry)
+	}
+	seen := make(map[int]bool, nUpper)
+	for i := 0; i < nUpper; i++ {
+		var u UpperState
+		u.Cap = int(d.u32())
+		if u.Cap < 1 || u.Cap > MaxQueryHorizon {
+			return e, fmt.Errorf("oracle: snapshot upper-curve cap %d outside [1, %d]", u.Cap, MaxQueryHorizon)
+		}
+		if seen[u.Cap] {
+			return e, fmt.Errorf("oracle: snapshot entry repeats upper-curve cap %d", u.Cap)
+		}
+		seen[u.Cap] = true
+		u.Lower, u.Drop, err = d.curve(maxSnapshotCurveLen)
+		if err != nil {
+			return e, err
+		}
+		e.Upper = append(e.Upper, u)
+	}
+	if d.err != nil {
+		return e, d.err
+	}
+	if d.pos != len(d.buf) {
+		return e, fmt.Errorf("oracle: snapshot entry has %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return e, nil
+}
+
+// decoder is a bounds-checked little-endian reader over one payload.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.pos+n > len(d.buf) {
+		if d.err == nil {
+			d.err = errors.New("oracle: snapshot entry truncated")
+		}
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *decoder) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *decoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *decoder) curve(maxLen int) (lower, drop []float64, err error) {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if n > maxLen {
+		return nil, nil, fmt.Errorf("oracle: snapshot curve length %d exceeds bound %d", n, maxLen)
+	}
+	if d.pos+16*n > len(d.buf) {
+		return nil, nil, errors.New("oracle: snapshot curve runs past its section")
+	}
+	read := func() []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+			d.pos += 8
+		}
+		return out
+	}
+	return read(), read(), nil
+}
+
+// WriteSnapshot serializes every resident entry with computed state, in
+// most-recently-used-first order, and returns how many were written. It
+// takes each entry lock briefly to copy readouts; concurrent queries keep
+// serving.
+func (o *Oracle) WriteSnapshot(w io.Writer) (int, error) {
+	o.mu.Lock()
+	resident := make([]*entry, 0, o.lru.Len())
+	for el := o.lru.Front(); el != nil; el = el.Next() {
+		resident = append(resident, el.Value.(*entry))
+	}
+	o.mu.Unlock()
+
+	entries := make([]SnapshotEntry, 0, len(resident))
+	for _, e := range resident {
+		e.mu.Lock()
+		se := SnapshotEntry{Key: e.key}
+		if e.curve != nil {
+			se.Lower, se.Drop = e.curve.State()
+		}
+		for cap, uc := range e.upper {
+			lo, dr := uc.State()
+			if len(lo) > 0 {
+				se.Upper = append(se.Upper, UpperState{Cap: cap, Lower: lo, Drop: dr})
+			}
+		}
+		e.mu.Unlock()
+		if len(se.Lower) > 0 || len(se.Upper) > 0 {
+			entries = append(entries, se)
+		}
+	}
+	if err := EncodeSnapshot(w, entries); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// LoadSnapshot decodes a snapshot stream and installs every cleanly
+// decoded entry that is not already resident, restoring its curves
+// without any DP work. Damage is contained: quarantined sections are
+// counted in the stats and their keys rebuild cold on first query. The
+// error is non-nil only when the stream is unusable from the first byte.
+func (o *Oracle) LoadSnapshot(r io.Reader) (SnapshotStats, error) {
+	entries, stats, err := DecodeSnapshot(r)
+	if err != nil {
+		return stats, err
+	}
+	installed := 0
+	for i := range entries {
+		ok, err := o.installEntry(&entries[i])
+		if err != nil || !ok {
+			stats.Skipped++
+			continue
+		}
+		installed++
+	}
+	stats.Entries = installed
+	o.snapLoaded.Add(int64(installed))
+	o.snapQuarantined.Add(int64(stats.Quarantined))
+	return stats, nil
+}
+
+// installEntry restores one decoded entry into the cache. It returns
+// false (without error) when the key is already resident or the cache is
+// full — snapshots never overwrite live state and never evict.
+func (o *Oracle) installEntry(se *SnapshotEntry) (bool, error) {
+	if !(se.Key.Tau() >= 0) {
+		return false, fmt.Errorf("oracle: snapshot entry with invalid τ bits %#x", se.Key.TauBits)
+	}
+	p, err := charstring.ParamsFromAlpha(se.Key.Alpha(), se.Key.Ph())
+	if err != nil {
+		return false, fmt.Errorf("oracle: snapshot entry at invalid point: %w", err)
+	}
+	e := &entry{key: se.Key, comp: settlement.New(p)}
+	if len(se.Lower) > 0 {
+		e.curve = e.comp.Curve(se.Key.Tau())
+		if err := e.curve.Restore(se.Lower, se.Drop); err != nil {
+			return false, err
+		}
+	}
+	if len(se.Upper) > 0 {
+		e.upper = make(map[int]*lattice.Curve, len(se.Upper))
+		for i := range se.Upper {
+			u := &se.Upper[i]
+			uc := e.comp.UpperCurve(u.Cap)
+			if err := uc.Restore(u.Lower, u.Drop); err != nil {
+				return false, err
+			}
+			e.upper[u.Cap] = uc
+		}
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, exists := o.entries[se.Key]; exists {
+		return false, nil
+	}
+	if o.lru.Len() >= o.maxEntries {
+		// The file is MRU-first, so everything still unread is colder than
+		// everything resident; skipping (not evicting) is the right call.
+		return false, nil
+	}
+	// PushBack keeps the file's MRU-first order: the first installed entry
+	// stays the most recently used.
+	e.elem = o.lru.PushBack(e)
+	o.entries[se.Key] = e
+	e.mu.Lock()
+	o.accountLocked(e)
+	e.mu.Unlock()
+	return true, nil
+}
+
+// SaveSnapshotFile writes the oracle's snapshot atomically: temp file in
+// the same directory, fsync, rename over path, fsync the directory. A
+// crash at any point leaves either the old committed snapshot or the new
+// one, never a torn file at the committed path (at worst a stale .tmp,
+// which loading ignores and the next save overwrites). fsys selects the
+// filesystem seam (nil = the real one).
+func (o *Oracle) SaveSnapshotFile(fsys faultfs.FS, path string) (entries int, err error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	// Best-effort cleanup: on any failure below, drop the temp file.
+	defer func() {
+		if err != nil {
+			_ = fsys.Remove(tmp)
+		}
+	}()
+	entries, err = o.WriteSnapshot(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err = f.Close(); err != nil {
+		return 0, err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err = fsys.SyncDir(dirOf(path)); err != nil {
+		return 0, err
+	}
+	o.snapSaves.Add(1)
+	return entries, nil
+}
+
+// LoadSnapshotFile loads the committed snapshot at path, quarantining it
+// (rename to path+".corrupt") when any part of it was damaged — the
+// cleanly decoded entries are still installed first. A stale temp file
+// from an interrupted save is removed. A missing snapshot returns
+// fs.ErrNotExist; callers treat that as a normal cold boot.
+func (o *Oracle) LoadSnapshotFile(fsys faultfs.FS, path string) (SnapshotStats, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	// A .tmp left behind means a save crashed mid-write; the committed
+	// path is still the last good snapshot. Drop the debris.
+	_ = fsys.Remove(path + ".tmp")
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return SnapshotStats{}, fmt.Errorf("oracle: no snapshot at %s: %w", path, fs.ErrNotExist)
+		}
+		return SnapshotStats{}, err
+	}
+	stats, err := o.LoadSnapshot(f)
+	f.Close()
+	if err != nil || stats.Damaged() {
+		// Preserve the evidence out of the boot path so the next
+		// checkpoint rewrites a clean file.
+		_ = fsys.Rename(path, path+".corrupt")
+	}
+	return stats, err
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// mutationStamp summarizes cache-content churn; the checkpointer skips a
+// tick when the stamp has not moved since its last save.
+func (o *Oracle) mutationStamp() int64 {
+	return o.builds.Load() + o.extends.Load() + o.evictions.Load()
+}
+
+// Checkpointer periodically writes the oracle's snapshot to a file,
+// skipping ticks with no cache churn, and flushes one final snapshot on
+// Close — the shutdown half of the crash-safety story. Construct with
+// NewCheckpointer, call Run on a goroutine, Close to stop.
+type Checkpointer struct {
+	o        *Oracle
+	fsys     faultfs.FS
+	path     string
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCheckpointer configures a checkpointer writing o's snapshot to path
+// every interval (nil fsys selects the real filesystem, nil logf
+// discards logs).
+func NewCheckpointer(o *Oracle, fsys faultfs.FS, path string, interval time.Duration, logf func(string, ...any)) *Checkpointer {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Checkpointer{
+		o: o, fsys: fsys, path: path, interval: interval, logf: logf,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Run loops until Close, saving a snapshot every interval when the cache
+// has churned. Save failures are logged and retried next tick: an
+// unwritable disk degrades durability, never serving.
+func (c *Checkpointer) Run() {
+	defer close(c.done)
+	last := int64(-1) // first tick always saves, so a fresh file exists early
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			stamp := c.o.mutationStamp()
+			if stamp == last {
+				continue
+			}
+			n, err := c.o.SaveSnapshotFile(c.fsys, c.path)
+			if err != nil {
+				c.logf("checkpoint: %v", err)
+				continue
+			}
+			last = stamp
+			c.logf("checkpoint: %d entries -> %s", n, c.path)
+		}
+	}
+}
+
+// Close stops the loop and writes the final snapshot (unconditionally:
+// the flush-on-shutdown contract cmd/serve relies on).
+func (c *Checkpointer) Close() error {
+	close(c.stop)
+	<-c.done
+	n, err := c.o.SaveSnapshotFile(c.fsys, c.path)
+	if err != nil {
+		return err
+	}
+	c.logf("final checkpoint: %d entries -> %s", n, c.path)
+	return nil
+}

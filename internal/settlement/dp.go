@@ -77,8 +77,10 @@ func (c *Computer) stationaryEngine(k int, tau float64) (*lattice.Engine, error)
 // Curve returns an incrementally extensible settlement curve under the
 // |x| → ∞ initial law. τ = 0 is the exact mode; τ > 0 prunes band-edge
 // cells with mass ≤ τ and brackets every horizon as
-// [Lower, Lower+Dropped]. Extending past the built capacity rebuilds with
-// doubled caps (amortized ≤ 2× one full sweep).
+// [Lower, Lower+Dropped]. Extension walks lattice.Curve's canonical
+// capacity ladder, so the value at each horizon is byte-identical across
+// every curve at this parameter point regardless of extension history —
+// the property the oracle tier's failover-answer-identity invariant pins.
 func (c *Computer) Curve(tau float64) *lattice.Curve {
 	return lattice.NewCurve(func(kCap int) (*lattice.Engine, error) {
 		return c.stationaryEngine(kCap, tau)
@@ -133,15 +135,15 @@ func (c *Computer) ViolationProbability(k int) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
 	}
-	// Point query: sweep without the per-horizon readout of ViolationCurve.
-	eng, err := c.stationaryEngine(k, 0)
-	if err != nil {
+	// Routed through the incremental curve so the point query advances the
+	// same canonical-geometry sweep as every other path: the answer is
+	// byte-identical to ViolationCurve(k)[k-1] and to an oracle-cached
+	// curve extended to k in any number of stages.
+	cv := c.Curve(0)
+	if err := cv.Extend(k); err != nil {
 		return 0, err
 	}
-	for t := 0; t < k; t++ {
-		eng.Step()
-	}
-	return eng.TailMass(), nil
+	return cv.Lower(k), nil
 }
 
 // ViolationCurve returns Pr[µ_x(y) ≥ 0] for every horizon |y| = 1..k (one
@@ -163,25 +165,20 @@ func (c *Computer) ViolationCurve(k int) ([]float64, error) {
 }
 
 // ViolationBracket returns a rigorous bracket [lower, upper] containing
-// the exact violation probability at horizon k, swept with τ-pruning and
-// without the per-horizon readout of the curve variants (the point query).
+// the exact violation probability at horizon k, swept with τ-pruning.
 // τ = 0 collapses the bracket to the exact value.
 func (c *Computer) ViolationBracket(k int, tau float64) (lower, upper float64, err error) {
 	if k < 1 {
 		return 0, 0, fmt.Errorf("settlement: k = %d must be ≥ 1", k)
 	}
-	eng, err := c.stationaryEngine(k, tau)
-	if err != nil {
+	// Same canonical sweep as ViolationCurveBracket: the point bracket is
+	// bit-equal to the curve endpoint (pinned by TestPropertyPrunedBracket-
+	// ContainsExact), so cached and cold paths can never disagree.
+	cv := c.Curve(tau)
+	if err := cv.Extend(k); err != nil {
 		return 0, 0, err
 	}
-	for t := 0; t < k; t++ {
-		eng.Step()
-	}
-	lower = eng.TailMass()
-	upper = lower + eng.Dropped()
-	if upper > 1 {
-		upper = 1
-	}
+	lower, upper = cv.Bracket(k)
 	return lower, upper, nil
 }
 

@@ -1,0 +1,66 @@
+package settlement
+
+import (
+	"math"
+	"testing"
+
+	"multihonest/internal/charstring"
+)
+
+// TestLadderHistoryIndependence pins the canonical-geometry guarantee the
+// replicated oracle tier is built on: the float64 value at every horizon
+// is byte-identical no matter how the curve reached it — extended in many
+// small stages, in one deep shot, or only as far as the queried horizon.
+// Before the capacity ladder, a deep extension rebuilt the engine with a
+// history-dependent geometry and silently rewrote already-served shallow
+// values by ~1 ulp, which made "replica answer ≡ cold recompute" checks
+// impossible to state bitwise.
+func TestLadderHistoryIndependence(t *testing.T) {
+	for _, pt := range []struct{ alpha, frac float64 }{
+		{0.0926, 0.3992}, // the point where loadgen -verify first caught the drift
+		{0.30, 0.5},
+		{0.49, 0.01},
+	} {
+		p, err := charstring.ParamsFromAlpha(pt.alpha, pt.frac*(1-pt.alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(p)
+
+		staged := c.Curve(0)
+		for _, k := range []int{9, 12, 100, 400} {
+			if err := staged.Extend(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oneshot := c.Curve(0)
+		if err := oneshot.Extend(400); err != nil {
+			t.Fatal(err)
+		}
+		shallow := c.Curve(0)
+		if err := shallow.Extend(9); err != nil {
+			t.Fatal(err)
+		}
+
+		for k := 1; k <= 400; k++ {
+			a, b := staged.Lower(k), oneshot.Lower(k)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("α=%v frac=%v k=%d: staged %.17g != one-shot %.17g", pt.alpha, pt.frac, k, a, b)
+			}
+		}
+		for k := 1; k <= 9; k++ {
+			if math.Float64bits(shallow.Lower(k)) != math.Float64bits(oneshot.Lower(k)) {
+				t.Fatalf("α=%v frac=%v k=%d: shallow-only build differs from deep build", pt.alpha, pt.frac, k)
+			}
+		}
+
+		// The point query advances the same canonical sweep.
+		pq, err := c.ViolationProbability(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(pq) != math.Float64bits(oneshot.Lower(9)) {
+			t.Fatalf("α=%v frac=%v: point query %.17g != curve slot %.17g", pt.alpha, pt.frac, pq, oneshot.Lower(9))
+		}
+	}
+}
