@@ -9,10 +9,12 @@
 //
 // The baseline file maps benchmark name → ns/op of the committed reference
 // (see bench/baseline_pr3.json: the streaming Monte-Carlo core measured
-// when PR 3 landed). Speedup is baseline ns/op divided by current ns/op
-// for every benchmark present in both. Custom throughput units (qps from
-// the oracle serve benchmarks, samples/s from the MC engine) are carried
-// through as-is.
+// when PR 3 landed). Keys starting with "_" are comments — free-form
+// strings documenting why the baseline holds the values it does (e.g. a
+// waived regression) — and are ignored. Speedup is baseline ns/op divided
+// by current ns/op for every benchmark present in both. Custom throughput
+// units (qps from the oracle serve benchmarks, samples/s from the MC
+// engine) are carried through as-is.
 //
 // -regress turns the tool into a CI perf gate: each named benchmark must
 // be present in both the input and the baseline, and its ns/op must not
@@ -117,8 +119,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := json.Unmarshal(data, &baseline); err != nil {
+		raw := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &raw); err != nil {
 			log.Fatalf("parsing baseline %s: %v", *baselinePath, err)
+		}
+		for name, v := range raw {
+			if strings.HasPrefix(name, "_") {
+				continue // comment key
+			}
+			var ns float64
+			if err := json.Unmarshal(v, &ns); err != nil {
+				log.Fatalf("parsing baseline %s: entry %q is not a number: %v", *baselinePath, name, err)
+			}
+			baseline[name] = ns
 		}
 	}
 

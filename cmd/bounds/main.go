@@ -10,6 +10,9 @@
 // every row reports the realized sampling throughput (samples/sec)
 // alongside the estimate. -json emits one machine-readable document with
 // the same rows and timings, mirroring cmd/settle and cmd/table1.
+// -metrics instruments the Monte-Carlo runner and dumps the Prometheus
+// registry (runner_samples_total{job}, runner_samples_per_second{job}) to
+// stderr on exit.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"multihonest/internal/deltasync"
 	"multihonest/internal/gf"
 	"multihonest/internal/mc"
+	"multihonest/internal/runner"
+	"multihonest/internal/telemetry"
 )
 
 // jsonRow is one sweep point of the -json document.
@@ -83,7 +88,18 @@ func main() {
 	n := flag.Int("n", 20000, "Monte-Carlo samples per point")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker-pool size (0 = all CPUs)")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
+	metrics := flag.Bool("metrics", false, "dump runner telemetry (Prometheus text) to stderr on exit")
 	flag.Parse()
+
+	if *metrics {
+		reg := telemetry.New()
+		runner.Instrument(reg)
+		defer func() {
+			if err := reg.WritePrometheus(os.Stderr); err != nil {
+				log.Printf("metrics dump failed: %v", err)
+			}
+		}()
+	}
 
 	text := !*asJSON
 	out := jsonOutput{Bound: *which, Kmax: *kmax, NPerPoint: *n, Workers: *workers}

@@ -8,13 +8,21 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-duration 5s] [-concurrency 8]
 //	        [-keys 64] [-skew 1.2] [-kmax 400] [-ops cell,curve,failure,depth,bracket]
-//	        [-seed 1] [-json] [-verify 0]
+//	        [-seed 1] [-json] [-verify 0] [-scrape]
 //	        [-chaos -serve-bin ./serve] [-min-success 0.99]
 //
 // With -verify F, a fraction F of completed requests is sampled and the
 // answers recomputed on a local cold oracle; any float that is not
 // bitwise identical fails the run. Wrong answers are never tolerated,
 // at any error rate.
+//
+// With -scrape, loadgen reads the target's /metrics before and after the
+// run and folds the server's own view of the window into the report:
+// request count and p50/p99 from the service-side latency histogram
+// (free of client/network overhead), cache hit/miss/coalesce counts, and
+// the cluster's forward/hedge/retry/fallback counters. Every request
+// carries a fresh X-Multihonest-Trace ID, so any failure reported here
+// can be grepped in the server's structured logs by trace.
 //
 // With -chaos, loadgen owns the topology: it spawns a 2-replica cluster
 // from -serve-bin, drives load at the survivor, SIGKILLs the victim
@@ -36,7 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net"
@@ -54,7 +62,12 @@ import (
 
 	"multihonest/internal/oracle"
 	"multihonest/internal/settlement"
+	"multihonest/internal/telemetry"
 )
+
+// logger is the structured log sink; chaos replicas inherit the same
+// stderr, so their slog lines interleave with ours and share trace IDs.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "loadgen")
 
 // point is one parameter point of the key universe.
 type point struct {
@@ -87,32 +100,55 @@ type result struct {
 	samples   []sample
 }
 
-// chaosReport is the -chaos section of the summary.
+// chaosReport is the -chaos section of the summary. RestartToReadyMS is
+// read from the restarted victim's serve_boot_to_ready_seconds gauge —
+// the server's own boot-to-ready measurement, free of the harness's
+// 20ms readiness-poll quantization; Source records which clock produced
+// it ("gauge", or "client" when the victim's /metrics was unreachable).
 type chaosReport struct {
 	KilledAtSec      float64 `json:"killed_at_sec"`
 	DownSec          float64 `json:"down_sec"`
 	RestartToReadyMS float64 `json:"restart_to_ready_ms"`
+	Source           string  `json:"restart_to_ready_source"`
+}
+
+// scrapeReport is the -scrape section of the summary: the delta of the
+// server's own counters over the measurement window, plus windowed
+// latency quantiles from the service-side histogram.
+type scrapeReport struct {
+	ServerRequests float64 `json:"server_requests"`
+	ServerP50MS    float64 `json:"server_p50_ms"`
+	ServerP99MS    float64 `json:"server_p99_ms"`
+	CacheHits      float64 `json:"cache_hits"`
+	CacheMisses    float64 `json:"cache_misses"`
+	CoalescedWaits float64 `json:"coalesced_waits"`
+	Forwards       float64 `json:"forwards"`
+	ForwardRetries float64 `json:"forward_retries"`
+	Hedges         float64 `json:"hedges"`
+	LocalFallbacks float64 `json:"local_fallbacks"`
+	OpenBreakers   float64 `json:"open_breakers"`
 }
 
 // summary is the emitted report.
 type summary struct {
-	URL         string       `json:"url"`
-	DurationSec float64      `json:"duration_sec"`
-	Concurrency int          `json:"concurrency"`
-	Keys        int          `json:"keys"`
-	Skew        float64      `json:"skew"`
-	Ops         string       `json:"ops"`
-	Requests    int          `json:"requests"`
-	Errors      int          `json:"errors"`
-	SuccessRate float64      `json:"success_rate"`
-	Verified    int          `json:"verified"`
-	Mismatches  int          `json:"verify_mismatches"`
-	QPS         float64      `json:"qps"`
-	P50MS       float64      `json:"p50_ms"`
-	P90MS       float64      `json:"p90_ms"`
-	P99MS       float64      `json:"p99_ms"`
-	MaxMS       float64      `json:"max_ms"`
-	Chaos       *chaosReport `json:"chaos,omitempty"`
+	URL         string        `json:"url"`
+	DurationSec float64       `json:"duration_sec"`
+	Concurrency int           `json:"concurrency"`
+	Keys        int           `json:"keys"`
+	Skew        float64       `json:"skew"`
+	Ops         string        `json:"ops"`
+	Requests    int           `json:"requests"`
+	Errors      int           `json:"errors"`
+	SuccessRate float64       `json:"success_rate"`
+	Verified    int           `json:"verified"`
+	Mismatches  int           `json:"verify_mismatches"`
+	QPS         float64       `json:"qps"`
+	P50MS       float64       `json:"p50_ms"`
+	P90MS       float64       `json:"p90_ms"`
+	P99MS       float64       `json:"p99_ms"`
+	MaxMS       float64       `json:"max_ms"`
+	Chaos       *chaosReport  `json:"chaos,omitempty"`
+	Scrape      *scrapeReport `json:"scrape,omitempty"`
 }
 
 // maxVerifySamples bounds the offline recompute pass.
@@ -124,17 +160,17 @@ const maxVerifySamples = 256
 // pipeline) long after loadgen itself has died.
 var teardown func()
 
-// fatalf is log.Fatalf preceded by topology teardown.
-func fatalf(format string, args ...any) {
+// fatal logs one structured error line, tears the topology down, and
+// exits non-zero.
+func fatal(msg string, args ...any) {
 	if teardown != nil {
 		teardown()
 	}
-	log.Fatalf(format, args...)
+	logger.Error(msg, args...)
+	os.Exit(1)
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("loadgen: ")
 	baseURL := flag.String("url", "http://127.0.0.1:8080", "oracle base URL (ignored with -chaos)")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
@@ -145,16 +181,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "key-universe and traffic seed")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	verify := flag.Float64("verify", 0, "fraction of answers recomputed locally and compared bitwise")
+	scrape := flag.Bool("scrape", false, "scrape the target's /metrics around the run and fold server-side latency and cluster counters into the report")
 	chaos := flag.Bool("chaos", false, "spawn a 2-replica cluster and kill/restart one mid-run")
 	serveBin := flag.String("serve-bin", "", "path to the serve binary (-chaos only)")
 	minSuccess := flag.Float64("min-success", 0.99, "required success rate under -chaos")
 	flag.Parse()
 
 	if *concurrency < 1 || *keys < 1 || *skew <= 1 || *kmax < 2 {
-		log.Fatalf("invalid flags: concurrency=%d keys=%d skew=%v kmax=%d", *concurrency, *keys, *skew, *kmax)
+		fatal("invalid flags", "concurrency", *concurrency, "keys", *keys, "skew", *skew, "kmax", *kmax)
 	}
 	if *verify < 0 || *verify > 1 {
-		log.Fatalf("-verify %v outside [0,1]", *verify)
+		fatal("-verify outside [0,1]", "verify", *verify)
 	}
 
 	var chaosRep *chaosReport
@@ -162,7 +199,7 @@ func main() {
 	target := *baseURL
 	if *chaos {
 		if *serveBin == "" {
-			log.Fatal("-chaos requires -serve-bin")
+			fatal("-chaos requires -serve-bin")
 		}
 		cl := startCluster(*serveBin)
 		teardown = cl.stop
@@ -183,6 +220,15 @@ func main() {
 		client.Transport = t2
 	}
 
+	var before *telemetry.Scrape
+	if *scrape {
+		var err error
+		if before, err = scrapeMetrics(client, target); err != nil {
+			logger.Warn("pre-run /metrics scrape failed; -scrape disabled", "err", err)
+			*scrape = false
+		}
+	}
+
 	deadline := time.Now().Add(*duration)
 	results := make([]result, *concurrency)
 	var sampled atomic.Int64
@@ -199,13 +245,14 @@ func main() {
 				p := universe[zipf.Uint64()]
 				op := opList[rng.Intn(len(opList))]
 				url, spec := queryURL(target, op, p, rng, *kmax)
+				trace := telemetry.NewTraceID()
 				t0 := time.Now()
-				status, body, err := get(client, url)
+				status, body, err := get(client, url, trace)
 				res.latencies = append(res.latencies, time.Since(t0).Seconds())
 				if err != nil {
 					res.errors++
 					if res.firstErr == nil {
-						res.firstErr = fmt.Errorf("%s: %w", url, err)
+						res.firstErr = fmt.Errorf("%s (trace %s): %w", url, trace, err)
 					}
 					continue
 				}
@@ -217,6 +264,16 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	var scrapeRep *scrapeReport
+	if *scrape {
+		after, err := scrapeMetrics(client, target)
+		if err != nil {
+			logger.Warn("post-run /metrics scrape failed", "err", err)
+		} else {
+			scrapeRep = foldScrapes(before, after)
+		}
+	}
 
 	if *chaos {
 		// The cycle finishes at the halfway mark plus the victim's ready
@@ -261,6 +318,7 @@ func main() {
 		P99MS:       percentile(all, 0.99) * 1e3,
 		MaxMS:       percentile(all, 1) * 1e3,
 		Chaos:       chaosRep,
+		Scrape:      scrapeRep,
 	}
 	if elapsed > 0 {
 		s.QPS = float64(total) / elapsed.Seconds()
@@ -273,39 +331,91 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {
-			log.Fatal(err)
+			fatal("encoding report", "err", err)
 		}
 	} else {
 		fmt.Printf("%d requests in %.2fs (%d workers, %d keys, zipf %.2f): %.0f qps, success %.4f\n",
 			s.Requests, s.DurationSec, s.Concurrency, s.Keys, s.Skew, s.QPS, s.SuccessRate)
 		fmt.Printf("latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  errors %d  verified %d\n",
 			s.P50MS, s.P90MS, s.P99MS, s.MaxMS, s.Errors, s.Verified)
+		if scrapeRep != nil {
+			fmt.Printf("server: %.0f reqs, p50 %.3fms  p99 %.3fms;  cache hit/miss/coalesce %.0f/%.0f/%.0f\n",
+				scrapeRep.ServerRequests, scrapeRep.ServerP50MS, scrapeRep.ServerP99MS,
+				scrapeRep.CacheHits, scrapeRep.CacheMisses, scrapeRep.CoalescedWaits)
+			fmt.Printf("cluster: forwards %.0f  hedges %.0f  retries %.0f  fallbacks %.0f  open breakers %.0f\n",
+				scrapeRep.Forwards, scrapeRep.Hedges, scrapeRep.ForwardRetries,
+				scrapeRep.LocalFallbacks, scrapeRep.OpenBreakers)
+		}
 		if chaosRep != nil {
-			fmt.Printf("chaos: victim killed at %.2fs, down %.2fs, restart-to-ready %.1fms\n",
-				chaosRep.KilledAtSec, chaosRep.DownSec, chaosRep.RestartToReadyMS)
+			fmt.Printf("chaos: victim killed at %.2fs, down %.2fs, restart-to-ready %.1fms (%s)\n",
+				chaosRep.KilledAtSec, chaosRep.DownSec, chaosRep.RestartToReadyMS, chaosRep.Source)
 		}
 	}
 
 	// Smoke contract. Correctness is absolute: one bitwise mismatch fails
 	// the run no matter how available the cluster was.
 	if total == 0 {
-		fatalf("no request completed")
+		fatal("no request completed")
 	}
 	if mismatches > 0 {
-		fatalf("%d/%d verified answers differ from the local cold compute; first: %v",
-			mismatches, verified, firstMismatch)
+		fatal("verified answers differ from the local cold compute",
+			"mismatches", mismatches, "verified", verified, "first", firstMismatch)
 	}
 	if *chaos {
 		if chaosRep == nil {
-			fatalf("chaos cycle did not complete (victim never restarted)")
+			fatal("chaos cycle did not complete (victim never restarted)")
 		}
 		if s.SuccessRate < *minSuccess {
-			fatalf("success rate %.4f below -min-success %.4f; first error: %v",
-				s.SuccessRate, *minSuccess, firstErr)
+			fatal("success rate below -min-success",
+				"success_rate", s.SuccessRate, "min_success", *minSuccess, "first_err", firstErr)
 		}
 	} else if errs > 0 {
-		fatalf("%d/%d requests failed; first: %v", errs, total, firstErr)
+		fatal("requests failed", "errors", errs, "total", total, "first_err", firstErr)
 	}
+}
+
+// scrapeMetrics reads and parses the target's /metrics endpoint.
+func scrapeMetrics(client *http.Client, base string) (*telemetry.Scrape, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return telemetry.ParseText(io.LimitReader(resp.Body, 1<<22))
+}
+
+// foldScrapes reduces the before/after pair to the measurement window:
+// counter deltas, and p50/p99 of the requests the window added to the
+// service-side duration histogram. Breaker state is a gauge, so it is
+// read from the closing scrape alone.
+func foldScrapes(before, after *telemetry.Scrape) *scrapeReport {
+	delta := func(name string) float64 {
+		return after.SumFunc(name, nil) - before.SumFunc(name, nil)
+	}
+	window := telemetry.DeltaBuckets(
+		before.Buckets("serve_http_request_duration_seconds", nil),
+		after.Buckets("serve_http_request_duration_seconds", nil))
+	rep := &scrapeReport{
+		ServerRequests: delta("serve_http_request_duration_seconds_count"),
+		ServerP50MS:    telemetry.QuantileFromBuckets(window, 0.50) * 1e3,
+		ServerP99MS:    telemetry.QuantileFromBuckets(window, 0.99) * 1e3,
+		CacheHits:      delta("oracle_cache_hits_total"),
+		CacheMisses:    delta("oracle_cache_misses_total"),
+		CoalescedWaits: delta("oracle_coalesced_waits_total"),
+		Forwards:       delta("cluster_forwards_total"),
+		ForwardRetries: delta("cluster_forward_retries_total"),
+		Hedges:         delta("cluster_hedges_total"),
+		LocalFallbacks: delta("cluster_local_fallbacks_total"),
+	}
+	for _, smp := range after.Samples {
+		if smp.Name == "cluster_breaker_state" && smp.Value == 2 {
+			rep.OpenBreakers++
+		}
+	}
+	return rep
 }
 
 // makeUniverse draws the deterministic parameter-point universe: α and
@@ -358,11 +468,17 @@ func queryURL(base, op string, p point, rng *rand.Rand, kmax int) (string, query
 	return fmt.Sprintf("%s/v1/cell?alpha=%g&frac=%g&k=%d", base, p.alpha, p.frac, k), spec
 }
 
-// get issues one request, draining the body so connections are reused.
-// 422 (target_unreachable) is a valid semantic answer for depth queries
-// at slow-decay parameter points, not a service failure.
-func get(client *http.Client, url string) (int, []byte, error) {
-	resp, err := client.Get(url)
+// get issues one request carrying the given trace ID, draining the body
+// so connections are reused. 422 (target_unreachable) is a valid
+// semantic answer for depth queries at slow-decay parameter points, not
+// a service failure.
+func get(client *http.Client, url, trace string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set(telemetry.TraceHeader, trace)
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -498,12 +614,12 @@ func startCluster(bin string) *cluster {
 	var err error
 	cl.dir, err = os.MkdirTemp("", "loadgen-chaos-*")
 	if err != nil {
-		log.Fatal(err)
+		fatal("chaos scratch dir", "err", err)
 	}
 	for i := 0; i < 2; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			fatal("reserving replica port", "err", err)
 		}
 		addr := ln.Addr().String()
 		ln.Close()
@@ -516,7 +632,7 @@ func startCluster(bin string) *cluster {
 		cl.launch(i)
 		cl.awaitReady(i, 15*time.Second)
 	}
-	log.Printf("chaos cluster up: survivor %s, victim %s", cl.urls[0], cl.urls[1])
+	logger.Info("chaos cluster up", "survivor", cl.urls[0], "victim", cl.urls[1])
 	return cl
 }
 
@@ -533,7 +649,7 @@ func (cl *cluster) launch(i int) {
 	cmd := exec.Command(cl.bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		log.Fatalf("starting replica %d: %v", i, err)
+		fatal("starting replica", "replica", i, "err", err)
 	}
 	cl.procs[i] = cmd
 	done := make(chan struct{})
@@ -556,13 +672,16 @@ func (cl *cluster) awaitReady(i int, timeout time.Duration) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	fatalf("replica %d (%s) never became ready", i, cl.urls[i])
+	fatal("replica never became ready", "replica", i, "url", cl.urls[i])
 }
 
 func (cl *cluster) survivorURL() string { return cl.urls[0] }
 
 // killRestartCycle SIGKILLs the victim a third into the run and
-// restarts it at the halfway mark, returning the measured report.
+// restarts it at the halfway mark, returning the measured report. The
+// restart-to-ready figure is the victim's own serve_boot_to_ready_seconds
+// gauge; the harness-side poll measurement is the fallback when the
+// restarted replica's /metrics cannot be read.
 func (cl *cluster) killRestartCycle(duration time.Duration) *chaosReport {
 	start := time.Now()
 	killAt := duration / 3
@@ -570,22 +689,29 @@ func (cl *cluster) killRestartCycle(duration time.Duration) *chaosReport {
 
 	time.Sleep(killAt)
 	if err := cl.procs[1].Process.Kill(); err != nil {
-		fatalf("killing victim: %v", err)
+		fatal("killing victim", "err", err)
 	}
 	killed := time.Since(start)
-	log.Printf("chaos: victim killed at %.2fs", killed.Seconds())
+	logger.Info("chaos: victim killed", "at_sec", killed.Seconds())
 
 	time.Sleep(downFor)
 	restart := time.Now()
 	cl.launch(1)
 	cl.awaitReady(1, 15*time.Second)
-	ready := time.Since(restart)
-	log.Printf("chaos: victim restarted, ready in %.1fms", float64(ready.Microseconds())/1e3)
+	readyMS := float64(time.Since(restart).Microseconds()) / 1e3
+	source := "client"
+	if sc, err := scrapeMetrics(http.DefaultClient, cl.urls[1]); err == nil {
+		if v, ok := sc.Value("serve_boot_to_ready_seconds", nil); ok && v > 0 {
+			readyMS, source = v*1e3, "gauge"
+		}
+	}
+	logger.Info("chaos: victim restarted", "ready_ms", readyMS, "source", source)
 
 	return &chaosReport{
 		KilledAtSec:      killed.Seconds(),
 		DownSec:          downFor.Seconds(),
-		RestartToReadyMS: float64(ready.Microseconds()) / 1e3,
+		RestartToReadyMS: readyMS,
+		Source:           source,
 	}
 }
 

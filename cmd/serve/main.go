@@ -9,7 +9,7 @@
 //	serve [-addr :8080] [-cache 1024] [-workers 0]
 //	      [-snapshot oracle.mhsnap] [-checkpoint 30s]
 //	      [-peers http://a:8080,http://b:8080] [-self http://a:8080]
-//	      [-drain 10s]
+//	      [-drain 10s] [-pprof] [-reqlog=false]
 //
 // With -snapshot, the cache is persisted: a background checkpointer
 // writes a checksummed snapshot atomically every -checkpoint interval
@@ -24,6 +24,16 @@
 // circuit breakers; any replica can still answer any query locally, so
 // peer failure degrades latency, never availability or answers.
 //
+// Every request is traced: the edge middleware adopts an incoming
+// X-Multihonest-Trace header (or mints a 16-hex ID), the ID rides
+// cluster forwards so one query shows up under one ID on every replica
+// it touches, and each request logs one structured line with its phase
+// breakdown (queue, coalesce_wait, build, extend, forward, serialize).
+// Metrics — cache hit/miss/coalesce counters, build/extend latency
+// histograms, per-peer forward/hedge/breaker state, request duration by
+// endpoint and status — are served in Prometheus text form on /metrics.
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
+//
 // Endpoints (see internal/oracle.Server):
 //
 //	GET  /v1/depth?alpha=0.25&frac=0.5&target=1e-6&kmax=4096
@@ -35,7 +45,9 @@
 //	GET  /healthz               liveness + cache gauge
 //	GET  /healthz/live          bare liveness probe
 //	GET  /healthz/ready         readiness (503 while booting/draining)
+//	GET  /metrics               Prometheus text exposition
 //	GET  /debug/vars            expvar: cache, snapshot, and cluster stats
+//	GET  /debug/pprof/          profiling (only with -pprof)
 //
 // SIGINT/SIGTERM mark the replica not-ready, drain in-flight requests
 // (batches included) for up to -drain, flush a final snapshot, and exit
@@ -48,9 +60,10 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,17 +72,18 @@ import (
 
 	"multihonest/internal/faultfs"
 	"multihonest/internal/oracle"
+	"multihonest/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("serve: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(logger); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(logger *slog.Logger) error {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", oracle.DefaultMaxEntries, "curve cache capacity (parameter points)")
 	workers := flag.Int("workers", 0, "batch executor pool size (0 = all CPUs)")
@@ -78,12 +92,24 @@ func run() error {
 	peers := flag.String("peers", "", "comma-separated replica base URLs, self included (empty = standalone)")
 	self := flag.String("self", "", "this replica's base URL as written in -peers")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	reqlog := flag.Bool("reqlog", true, "log one structured line per request (probes excluded)")
 	flag.Parse()
+
+	bootStart := time.Now()
+	reg := telemetry.New()
+	readyG := reg.Gauge("serve_ready", "1 while the replica advertises ready, 0 while booting or draining.")
+	bootG := reg.Gauge("serve_boot_to_ready_seconds", "Seconds from process start to first ready, warm boot included.")
 
 	o := oracle.New(*cache)
 	o.Publish("oracle")
+	o.Instrument(reg)
 	srv := oracle.NewServer(o, *workers)
 	srv.SetReady(false) // not ready until the warm boot (if any) finishes
+
+	// logf adapts printf-style internals (checkpointer, cluster breakers)
+	// onto the structured logger.
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
 
 	var cp *oracle.Checkpointer
 	if *snapshot != "" {
@@ -91,16 +117,21 @@ func run() error {
 		stats, err := o.LoadSnapshotFile(faultfs.OS, *snapshot)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("no snapshot at %s; cold start", *snapshot)
+			logger.Info("no snapshot; cold start", "path", *snapshot)
 		case err != nil:
 			return fmt.Errorf("loading snapshot %s: %w", *snapshot, err)
 		case stats.Damaged():
-			log.Printf("warm boot (degraded): %d curves restored in %s; %d sections quarantined to %s.corrupt, damaged keys rebuild cold",
-				stats.Entries, time.Since(boot).Round(time.Millisecond), stats.Quarantined, *snapshot)
+			logger.Warn("warm boot (degraded): damaged keys rebuild cold",
+				"curves", stats.Entries,
+				"elapsed", time.Since(boot).Round(time.Millisecond),
+				"quarantined", stats.Quarantined,
+				"quarantine_path", *snapshot+".corrupt")
 		default:
-			log.Printf("warm boot: %d curves restored in %s", stats.Entries, time.Since(boot).Round(time.Millisecond))
+			logger.Info("warm boot",
+				"curves", stats.Entries,
+				"elapsed", time.Since(boot).Round(time.Millisecond))
 		}
-		cp = oracle.NewCheckpointer(o, faultfs.OS, *snapshot, *checkpoint, log.Printf)
+		cp = oracle.NewCheckpointer(o, faultfs.OS, *snapshot, *checkpoint, logf)
 		go cp.Run()
 	}
 
@@ -113,22 +144,44 @@ func run() error {
 		cluster := oracle.NewCluster(srv, oracle.ClusterConfig{
 			Self:  *self,
 			Peers: list,
-			Logf:  log.Printf,
+			Logf:  logf,
 		})
 		cluster.Publish("cluster")
+		cluster.Instrument(reg)
 		handler = cluster.Handler()
-		log.Printf("replicated serving: %d peers, self=%s", len(list), *self)
+		logger.Info("replicated serving", "peers", len(list), "self", *self)
 	}
+
+	// Outer route table: the oracle (or cluster) routes plus the telemetry
+	// endpoints, all wrapped in the tracing/metrics middleware.
+	root := http.NewServeMux()
+	root.Handle("/metrics", reg.Handler())
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	root.Handle("/", handler)
+	reqLogger := logger
+	if !*reqlog {
+		reqLogger = nil
+	}
+	h := telemetry.Middleware(root, telemetry.NewHTTPMetrics(reg, "serve"), reqLogger)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	hs := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	srv.SetReady(true)
-	log.Printf("settlement oracle listening on %s (cache %d entries)", ln.Addr(), *cache)
+	readyG.Set(1)
+	bootG.Set(time.Since(bootStart).Seconds())
+	logger.Info("listening", "addr", ln.Addr().String(), "cache", *cache)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -136,13 +189,14 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("caught %v; draining", sig)
+		logger.Info("caught signal; draining", "signal", sig.String())
 	}
 
 	// Stop advertising, finish what's in flight, then persist. Order
 	// matters: the final snapshot must include curves built by the very
 	// last drained batch.
 	srv.SetReady(false)
+	readyG.Set(0)
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -155,10 +209,11 @@ func run() error {
 		if err := cp.Close(); err != nil {
 			return fmt.Errorf("final snapshot flush: %w", err)
 		}
-		log.Printf("final snapshot flushed to %s", *snapshot)
+		logger.Info("final snapshot flushed", "path", *snapshot)
 	}
 	st := o.Stats()
-	log.Printf("clean shutdown: %d entries, %d hits, %d misses, %d builds, %d extends",
-		st.Entries, st.Hits, st.Misses, st.Builds, st.Extends)
+	logger.Info("clean shutdown",
+		"entries", st.Entries, "hits", st.Hits, "misses", st.Misses,
+		"builds", st.Builds, "extends", st.Extends)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"regexp"
 	"slices"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -31,15 +32,34 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
+// lockedBuf is a bytes.Buffer safe for the scanner goroutine to append
+// to while the test polls String (e.g. waiting for a trace ID to land).
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) WriteString(s string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.WriteString(s)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 // replica is a re-exec'd serve process under test control.
 type replica struct {
 	cmd    *exec.Cmd
 	addr   string
-	stderr *bytes.Buffer
+	stderr *lockedBuf
 	done   chan error
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var listenRE = regexp.MustCompile(`msg=listening addr=(\S+)`)
 
 // startReplica launches the command and waits for its listen line. An
 // ephemeral -addr is prepended unless the caller passes its own.
@@ -57,7 +77,7 @@ func startReplica(t *testing.T, args ...string) *replica {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	r := &replica{cmd: cmd, stderr: &bytes.Buffer{}, done: make(chan error, 1)}
+	r := &replica{cmd: cmd, stderr: &lockedBuf{}, done: make(chan error, 1)}
 
 	addrc := make(chan string, 1)
 	go func() {
@@ -220,7 +240,7 @@ func TestSigtermUnderLoad(t *testing.T) {
 	// Restart on the snapshot: warm boot with the batch's curves.
 	r2 := startReplica(t, "-snapshot", snap, "-checkpoint", "1h", "-cache", "4096")
 	waitReady(t, r2)
-	warmRE := regexp.MustCompile(`warm boot: (\d+) curves restored in (\S+)`)
+	warmRE := regexp.MustCompile(`msg="warm boot" curves=(\d+) elapsed=(\S+)`)
 	m := warmRE.FindStringSubmatch(r2.stderr.String())
 	if m == nil {
 		t.Fatalf("no warm boot line\nstderr:\n%s", r2.stderr)
@@ -254,7 +274,32 @@ func TestColdStartAndReadiness(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %v %v", resp, err)
 	}
+	if tr := resp.Header.Get("X-Multihonest-Trace"); len(tr) != 16 {
+		t.Fatalf("query response trace header %q, want a 16-hex minted ID", tr)
+	}
 	resp.Body.Close()
+
+	// The metrics endpoint must expose the query just made: a request
+	// counter at the curve endpoint, the cold build's latency histogram,
+	// and the readiness gauges.
+	resp, err = http.Get(r.url("/metrics"))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %v %v", resp, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`serve_http_requests_total{endpoint="/v1/curve",status="200"} 1`,
+		"oracle_build_seconds_bucket",
+		"oracle_cache_misses_total 1",
+		"serve_http_request_duration_seconds_bucket",
+		"serve_ready 1",
+		"serve_boot_to_ready_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
 	r.waitExit(t, syscall.SIGTERM)
 	if _, err := os.Stat(snap); err != nil {
 		t.Fatalf("shutdown flush after cold start missing: %v", err)
@@ -313,6 +358,56 @@ func TestReplicatedPair(t *testing.T) {
 		if got := fetch(rs[1], q); got != want[q] {
 			t.Fatalf("%s: replicas disagree", q)
 		}
+	}
+
+	// One trace ID, one forwarded query: hitting both replicas with the
+	// same key means exactly one of them forwards to the other, so the ID
+	// must appear in BOTH replicas' request logs.
+	const traceID = "feedfacecafebeef"
+	for _, r := range rs {
+		req, err := http.NewRequest("GET", r.url(queries[0]), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Multihonest-Trace", traceID)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Multihonest-Trace"); got != traceID {
+			t.Fatalf("trace header %q not echoed, got %q", traceID, got)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if strings.Contains(rs[0].stderr.String(), "trace="+traceID) &&
+			strings.Contains(rs[1].stderr.String(), "trace="+traceID) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s did not reach both replicas' logs\nreplica0:\n%s\nreplica1:\n%s",
+				traceID, rs[0].stderr, rs[1].stderr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The forwarding replica's metrics must show a per-peer forward.
+	var forwards int
+	for _, r := range rs {
+		resp, err := http.Get(r.url("/metrics"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "cluster_forwards_total{peer=") {
+			forwards++
+		}
+	}
+	if forwards == 0 {
+		t.Fatal("no replica recorded a per-peer forward")
 	}
 
 	// SIGKILL replica 1 — no drain, no flush, the crash case. Replica 0

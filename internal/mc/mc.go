@@ -74,7 +74,7 @@ func NoUniquelyHonestCatalanVerdict(s, k int) runner.Verdict {
 // after the tail decays geometrically). workers = 0 uses all CPUs.
 func NoUniquelyHonestCatalan(p charstring.Params, s, k, tail, n int, seed int64, workers int) Estimate {
 	T := s - 1 + k + tail
-	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers, Name: "e1_no_uh_catalan"}, T,
 		BlockBernoulliMaskSampler(p),
 		func() *noUHCatalanStream { return newNoUHCatalanStream(s, k) })
 }
@@ -98,7 +98,7 @@ func NoConsecutiveCatalanVerdict(s, k int) runner.Verdict {
 func NoConsecutiveCatalan(epsilon float64, s, k, tail, n int, seed int64, workers int) Estimate {
 	p := charstring.MustParams(epsilon, 0)
 	T := s - 1 + k + tail
-	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers, Name: "e2_no_consec_catalan"}, T,
 		BlockBernoulliMaskSampler(p),
 		func() *noConsecCatalanStream { return newNoConsecCatalanStream(s, k) })
 }
@@ -114,7 +114,7 @@ func SettlementViolationVerdict(m int) runner.Verdict {
 // SettlementViolation estimates Pr[µ_x(y) ≥ 0] for |x| = m, |y| = k — the
 // Table 1 event with a finite prefix. It cross-validates the exact DP.
 func SettlementViolation(p charstring.Params, m, k, n int, seed int64, workers int) Estimate {
-	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, m+k,
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers, Name: "e3_settlement_violation"}, m+k,
 		BlockBernoulliMaskSampler(p),
 		func() *settlementStream { return newSettlementStream(m, m+k) })
 }
@@ -137,7 +137,7 @@ func CPViolationVerdict(k int, consistentTies bool) runner.Verdict {
 // CPViolationPossible estimates the Theorem 8 event over T-slot strings
 // (experiment E5).
 func CPViolationPossible(p charstring.Params, T, k, n int, seed int64, consistentTies bool, workers int) Estimate {
-	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+	return mustRunBlocks(runner.Config{N: n, Seed: seed, Workers: workers, Name: "e5_cp_violation"}, T,
 		BlockBernoulliSampler(p),
 		func() *cpStream { return newCPStream(k, consistentTies) })
 }
@@ -178,7 +178,7 @@ func DeltaUnsettled(sp charstring.SemiSyncParams, delta, s, k, tail, n int, seed
 	if _, err := newDeltaUnsettledStream(s, k, delta, T); err != nil {
 		return Estimate{}, err
 	}
-	return runner.RunStreamBlocks(runner.Config{N: n, Seed: seed, Workers: workers}, T,
+	return runner.RunStreamBlocks(runner.Config{N: n, Seed: seed, Workers: workers, Name: "e4_delta_unsettled"}, T,
 		BlockConditionedSemiSyncSampler(sp, s),
 		func() *deltaUnsettledStream {
 			v, err := newDeltaUnsettledStream(s, k, delta, T)

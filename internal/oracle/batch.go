@@ -1,9 +1,11 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"multihonest/internal/runner"
+	"multihonest/internal/telemetry"
 )
 
 // BatchQuery is one element of a multi-query request. Op selects the
@@ -93,7 +95,19 @@ const MaxBatchCurvePoints = 1 << 19
 // reported in their slot without failing the batch. A batch whose curve
 // queries together exceed MaxBatchCurvePoints is rejected whole.
 func (o *Oracle) Batch(queries []BatchQuery, workers int) ([]BatchResult, BatchPlan, error) {
+	return o.batch(nil, queries, workers)
+}
+
+// BatchCtx is Batch with per-group lock waits and DP work charged to the
+// request trace carried by ctx; group workers share the one trace (phase
+// recording is atomic).
+func (o *Oracle) BatchCtx(ctx context.Context, queries []BatchQuery, workers int) ([]BatchResult, BatchPlan, error) {
+	return o.batch(telemetry.TraceFrom(ctx), queries, workers)
+}
+
+func (o *Oracle) batch(tr *telemetry.Trace, queries []BatchQuery, workers int) ([]BatchResult, BatchPlan, error) {
 	o.batchQ.Add(1)
+	o.met.batchQ.Inc()
 	points := 0
 	for i := range queries {
 		if queries[i].Op == "curve" && queries[i].K > 0 {
@@ -155,10 +169,10 @@ func (o *Oracle) Batch(queries []BatchQuery, workers int) ([]BatchResult, BatchP
 	// write only out[i] for their group's indices — never racing.
 	err := runner.ForEach(workers, len(order), func(gi int) error {
 		g := order[gi]
-		o.lockEntry(g.e)
+		o.lockEntry(g.e, tr)
 		defer g.e.mu.Unlock()
 		if g.maxK > 0 {
-			if err := o.extendLocked(g.e, g.maxK); err != nil {
+			if err := o.extendLocked(g.e, g.maxK, tr); err != nil {
 				for _, i := range g.indices {
 					out[i].Error = err.Error()
 				}
@@ -166,7 +180,7 @@ func (o *Oracle) Batch(queries []BatchQuery, workers int) ([]BatchResult, BatchP
 			}
 		}
 		for _, i := range g.indices {
-			o.answerLocked(g.e, &queries[i], &out[i])
+			o.answerLocked(g.e, &queries[i], &out[i], tr)
 		}
 		return nil
 	})
@@ -187,12 +201,13 @@ func queryHorizon(q *BatchQuery) int {
 // answerLocked serves one planned query from the group's entry; the caller
 // holds the entry lock and has already extended the main curve to the
 // group's deepest horizon.
-func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult) {
+func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult, tr *telemetry.Trace) {
 	fail := func(err error) { res.Error = err.Error() }
 	switch q.Op {
 	case "depth":
 		o.depthQ.Add(1)
-		d, err := o.depthLocked(e, q.Target, q.KMax)
+		o.met.depthQ.Inc()
+		d, err := o.depthLocked(e, q.Target, q.KMax, tr)
 		if err != nil {
 			fail(err)
 			return
@@ -200,6 +215,7 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult) {
 		res.Depth = d
 	case "curve":
 		o.curveQ.Add(1)
+		o.met.curveQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return
@@ -207,6 +223,7 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult) {
 		res.Curve = e.curve.ValuesUpTo(q.K)
 	case "failure", "cell":
 		o.cellQ.Add(1)
+		o.met.cellQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return
@@ -215,6 +232,7 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult) {
 		res.P = &p
 	case "bracket":
 		o.bracketQ.Add(1)
+		o.met.bracketQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"multihonest/internal/telemetry"
 )
 
 // Cluster fronts a Server with replicated serving: key-addressable GET
@@ -60,6 +62,10 @@ type Cluster struct {
 	hedges     atomic.Int64 // local computes raced against a slow owner
 	fallbacks  atomic.Int64 // owner unreachable; answered locally
 	loopServes atomic.Int64 // forwarded requests answered locally
+
+	// met mirrors the counters above into an optional telemetry registry;
+	// its zero value is inert (see Instrument in metrics.go).
+	met clusterMetrics
 }
 
 // ClusterConfig configures a Cluster; zero fields take the defaults
@@ -220,6 +226,7 @@ func (c *Cluster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Already hopped once: answer here regardless of ownership, so a
 		// disagreeing peer map cannot loop.
 		c.loopServes.Add(1)
+		c.met.loops.Inc()
 		c.local.ServeHTTP(w, r)
 		return
 	}
@@ -229,6 +236,7 @@ func (c *Cluster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.forwards.Add(1)
+	c.met.forwards[owner].Inc()
 	c.forwardOrHedge(w, r, owner)
 }
 
@@ -301,6 +309,8 @@ func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p)
 // forwardOrHedge races the owner (with retries) against a hedged local
 // compute and serves the first complete answer.
 func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner string) {
+	tr := telemetry.TraceFrom(r.Context())
+	fwdStart := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), c.fwdTimeout)
 	defer cancel()
 
@@ -321,12 +331,14 @@ func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner s
 		case br := <-fwdc:
 			if br != nil {
 				cancel() // drop a still-running hedge's budget
+				tr.Add(telemetry.PhaseForward, time.Since(fwdStart))
 				writeBuffered(w, br)
 				return
 			}
 			// Forwarding exhausted. If a hedge is already computing, its
 			// answer is coming; otherwise compute here now.
 			c.fallbacks.Add(1)
+			c.met.fallbacks.Inc()
 			if !hedging {
 				c.local.ServeHTTP(w, r)
 				return
@@ -335,6 +347,7 @@ func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner s
 		case <-hedgeTimer:
 			hedging = true
 			c.hedges.Add(1)
+			c.met.hedges[owner].Inc()
 			hedgeTimer = nil
 			go func() {
 				br := newBufferedResponse()
@@ -369,6 +382,7 @@ func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string)
 		}
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.met.retries[owner].Inc()
 			if !c.backoff(ctx, attempt) {
 				return nil
 			}
@@ -378,6 +392,11 @@ func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string)
 			return nil
 		}
 		req.Header.Set(clusterForwardHeader, c.self)
+		// Propagate the request's trace so the owner's log line carries the
+		// same ID as ours.
+		if tr := telemetry.TraceFrom(r.Context()); tr != nil && tr.ID != "" {
+			req.Header.Set(telemetry.TraceHeader, tr.ID)
+		}
 		resp, err := c.client.Do(req)
 		if err != nil {
 			if br != nil {
@@ -453,6 +472,23 @@ type breaker struct {
 	state    int // 0 closed, 1 open, 2 half-open
 	openedAt time.Time
 	now      func() time.Time // test hook; nil = time.Now
+
+	// stateG exports the state for scraping as 0 closed, 1 half-open,
+	// 2 open (larger = less available); nil when uninstrumented.
+	stateG *telemetry.Gauge
+}
+
+// exportState mirrors a state transition into the telemetry gauge,
+// remapping the internal encoding to the exported larger-is-worse one.
+func (b *breaker) exportState() {
+	switch b.state {
+	case 1:
+		b.stateG.Set(2) // open
+	case 2:
+		b.stateG.Set(1) // half-open
+	default:
+		b.stateG.Set(0) // closed
+	}
 }
 
 func (b *breaker) clock() time.Time {
@@ -473,6 +509,7 @@ func (b *breaker) allow() bool {
 	case 1:
 		if b.clock().Sub(b.openedAt) >= b.cooldown {
 			b.state = 2
+			b.exportState()
 			b.logf("cluster: breaker for %s half-open, probing", b.peer)
 			return true
 		}
@@ -489,6 +526,7 @@ func (b *breaker) success() {
 		b.logf("cluster: breaker for %s closed", b.peer)
 	}
 	b.state, b.failures = 0, 0
+	b.exportState()
 }
 
 func (b *breaker) failure() {
@@ -497,11 +535,13 @@ func (b *breaker) failure() {
 	switch b.state {
 	case 2: // failed probe: back to open, restart the cooldown
 		b.state, b.openedAt = 1, b.clock()
+		b.exportState()
 		b.logf("cluster: breaker for %s re-opened (probe failed)", b.peer)
 	case 0:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state, b.openedAt = 1, b.clock()
+			b.exportState()
 			b.logf("cluster: breaker for %s opened after %d consecutive failures", b.peer, b.failures)
 		}
 	}

@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"multihonest/internal/telemetry"
+)
+
+// TestInstrumentedOracleCounters drives an instrumented oracle through
+// hits, misses, builds, and extensions and checks every metric family
+// lands in the Prometheus exposition with the right values.
+func TestInstrumentedOracleCounters(t *testing.T) {
+	o := New(8)
+	reg := telemetry.New()
+	o.Instrument(reg)
+
+	if _, err := o.SettlementFailure(0.2, 0.4, 16); err != nil { // miss + cold build
+		t.Fatal(err)
+	}
+	if _, err := o.SettlementFailure(0.2, 0.4, 16); err != nil { // warm hit
+		t.Fatal(err)
+	}
+	if _, err := o.SettlementFailure(0.2, 0.4, 32); err != nil { // hit + extension
+		t.Fatal(err)
+	}
+	if _, err := o.SettlementCurve(0.2, 0.4, 32); err != nil { // hit, already long enough
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"oracle_cache_hits_total":     3,
+		"oracle_cache_misses_total":   1,
+		"oracle_build_seconds_count":  1,
+		"oracle_extend_seconds_count": 1,
+		"oracle_cache_entries":        1,
+	}
+	for name, want := range checks {
+		if got, ok := sc.Value(name, nil); !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	if got, _ := sc.Value("oracle_queries_total", map[string]string{"op": "cell"}); got != 3 {
+		t.Errorf("cell query counter = %v, want 3", got)
+	}
+	if got, _ := sc.Value("oracle_queries_total", map[string]string{"op": "curve"}); got != 1 {
+		t.Errorf("curve query counter = %v, want 1", got)
+	}
+	if got, ok := sc.Value("oracle_resident_curve_bytes", nil); !ok || got <= 0 {
+		t.Errorf("resident bytes gauge = %v (present=%v), want > 0", got, ok)
+	}
+}
+
+// TestOracleWarmServeZeroAllocsInstrumented pins the telemetry cost on
+// the oracle's warm serve path: a fully instrumented oracle answering a
+// traced point query from a resident curve must not allocate.
+func TestOracleWarmServeZeroAllocsInstrumented(t *testing.T) {
+	o := New(8)
+	o.Instrument(telemetry.New())
+	if _, err := o.SettlementFailure(0.2, 0.4, 64); err != nil {
+		t.Fatal(err)
+	}
+	ctx := telemetry.WithTrace(context.Background(), telemetry.NewTrace(""))
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := o.SettlementFailureCtx(ctx, 0.2, 0.4, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm instrumented serve: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestClusterInstrumentRegistersPerPeer checks the replication tier's
+// families appear per peer, with breaker gauges starting closed.
+func TestClusterInstrumentRegistersPerPeer(t *testing.T) {
+	srv := NewServer(New(8), 1)
+	c := NewCluster(srv, ClusterConfig{
+		Self:  "http://a:1",
+		Peers: []string{"http://a:1", "http://b:2", "http://c:3"},
+	})
+	reg := telemetry.New()
+	c.Instrument(reg)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []string{"http://b:2", "http://c:3"} {
+		if got, ok := sc.Value("cluster_breaker_state", map[string]string{"peer": peer}); !ok || got != 0 {
+			t.Errorf("breaker gauge for %s = %v (present=%v), want closed (0)", peer, got, ok)
+		}
+	}
+	if _, ok := sc.Value("cluster_breaker_state", map[string]string{"peer": "http://a:1"}); ok {
+		t.Error("self must not get a breaker gauge")
+	}
+
+	// Exercise a breaker transition and re-scrape.
+	br := c.breakerFor("http://b:2")
+	for i := 0; i < 10; i++ {
+		br.failure()
+	}
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sc.Value("cluster_breaker_state", map[string]string{"peer": "http://b:2"}); got != 2 {
+		t.Errorf("opened breaker gauge = %v, want 2", got)
+	}
+}

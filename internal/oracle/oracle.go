@@ -36,6 +36,7 @@ package oracle
 
 import (
 	"container/list"
+	"context"
 	"expvar"
 	"fmt"
 	"math"
@@ -46,6 +47,7 @@ import (
 	"multihonest/internal/charstring"
 	"multihonest/internal/lattice"
 	"multihonest/internal/settlement"
+	"multihonest/internal/telemetry"
 )
 
 // DefaultMaxEntries is the cache capacity used when New is given a
@@ -159,6 +161,10 @@ type Oracle struct {
 	residentBytes                           atomic.Int64
 	depthQ, curveQ, bracketQ, cellQ, batchQ atomic.Int64
 	snapSaves, snapLoaded, snapQuarantined  atomic.Int64
+
+	// met mirrors the counters above into an optional telemetry registry;
+	// its zero value is inert (see Instrument in metrics.go).
+	met oracleMetrics
 }
 
 // New returns an oracle whose cache holds at most maxEntries parameter
@@ -213,9 +219,11 @@ func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
 	if e, ok := o.entries[key]; ok {
 		o.lru.MoveToFront(e.elem)
 		o.hits.Add(1)
+		o.met.hits.Inc()
 		return e, nil
 	}
 	o.misses.Add(1)
+	o.met.misses.Inc()
 	e := &entry{key: key, comp: settlement.New(p)}
 	e.elem = o.lru.PushFront(e)
 	o.entries[key] = e
@@ -231,19 +239,24 @@ func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
 		victim.evicted.Store(true)
 		o.residentBytes.Add(-victim.bytes.Swap(0))
 		o.evictions.Add(1)
+		o.met.evictions.Inc()
 	}
 	return e, nil
 }
 
 // lockEntry takes the entry lock, counting the acquisition as a coalesced
 // wait when another goroutine already holds it (the waiter will reuse
-// whatever build or extension the holder completes).
-func (o *Oracle) lockEntry(e *entry) {
+// whatever build or extension the holder completes). The blocked time is
+// charged to the request trace's coalesce_wait phase.
+func (o *Oracle) lockEntry(e *entry, tr *telemetry.Trace) {
 	if e.mu.TryLock() {
 		return
 	}
 	o.coalesced.Add(1)
+	o.met.coalesced.Inc()
+	start := time.Now()
 	e.mu.Lock()
+	tr.Add(telemetry.PhaseCoalesceWait, time.Since(start))
 }
 
 // accountLocked refreshes the entry's resident-byte contribution after a
@@ -270,7 +283,7 @@ func (o *Oracle) accountLocked(e *entry) {
 // extendLocked brings the entry's main curve to horizon ≥ k, classifying
 // the work as a cold build (first steps of this chain) or an in-place
 // extension and timing it. The caller holds e.mu.
-func (o *Oracle) extendLocked(e *entry, k int) error {
+func (o *Oracle) extendLocked(e *entry, k int, tr *telemetry.Trace) error {
 	if e.curve == nil {
 		e.curve = e.comp.Curve(e.key.Tau())
 	}
@@ -282,14 +295,14 @@ func (o *Oracle) extendLocked(e *entry, k int) error {
 	if err := e.curve.Extend(k); err != nil {
 		return err
 	}
-	o.recordWork(prev, time.Since(start))
+	o.recordWork(prev, time.Since(start), tr)
 	o.accountLocked(e)
 	return nil
 }
 
 // upperLocked returns the entry's rigorous upper-bound curve for the given
 // saturation cap, extended to horizon ≥ k. The caller holds e.mu.
-func (o *Oracle) upperLocked(e *entry, cap, k int) (*lattice.Curve, error) {
+func (o *Oracle) upperLocked(e *entry, cap, k int, tr *telemetry.Trace) (*lattice.Curve, error) {
 	if e.upper == nil {
 		e.upper = make(map[int]*lattice.Curve)
 	}
@@ -312,20 +325,25 @@ func (o *Oracle) upperLocked(e *entry, cap, k int) (*lattice.Curve, error) {
 	if err := uc.Extend(k); err != nil {
 		return nil, err
 	}
-	o.recordWork(prev, time.Since(start))
+	o.recordWork(prev, time.Since(start), tr)
 	o.accountLocked(e)
 	return uc, nil
 }
 
 // recordWork classifies finished DP work: prev == 0 was a cold build,
-// anything else an incremental extension.
-func (o *Oracle) recordWork(prev int, d time.Duration) {
+// anything else an incremental extension. The duration lands in the
+// matching latency histogram and trace phase.
+func (o *Oracle) recordWork(prev int, d time.Duration, tr *telemetry.Trace) {
 	if prev == 0 {
 		o.builds.Add(1)
 		o.buildNS.Add(int64(d))
+		o.met.build.ObserveDuration(d)
+		tr.Add(telemetry.PhaseBuild, d)
 	} else {
 		o.extends.Add(1)
 		o.extendNS.Add(int64(d))
+		o.met.extend.ObserveDuration(d)
+		tr.Add(telemetry.PhaseExtend, d)
 	}
 }
 
@@ -341,7 +359,18 @@ func validHorizon(k int) error {
 // horizon 1..k at parameter point (α, ph) — core.Analyzer.SettlementCurve
 // served from the cache.
 func (o *Oracle) SettlementCurve(alpha, ph float64, k int) ([]float64, error) {
+	return o.settlementCurve(nil, alpha, ph, k)
+}
+
+// SettlementCurveCtx is SettlementCurve with the DP and lock-wait time
+// charged to the request trace carried by ctx (if any).
+func (o *Oracle) SettlementCurveCtx(ctx context.Context, alpha, ph float64, k int) ([]float64, error) {
+	return o.settlementCurve(telemetry.TraceFrom(ctx), alpha, ph, k)
+}
+
+func (o *Oracle) settlementCurve(tr *telemetry.Trace, alpha, ph float64, k int) ([]float64, error) {
 	o.curveQ.Add(1)
+	o.met.curveQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return nil, err
 	}
@@ -349,9 +378,9 @@ func (o *Oracle) SettlementCurve(alpha, ph float64, k int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.lockEntry(e)
+	o.lockEntry(e, tr)
 	defer e.mu.Unlock()
-	if err := o.extendLocked(e, k); err != nil {
+	if err := o.extendLocked(e, k, tr); err != nil {
 		return nil, err
 	}
 	return e.curve.ValuesUpTo(k), nil
@@ -360,7 +389,17 @@ func (o *Oracle) SettlementCurve(alpha, ph float64, k int) ([]float64, error) {
 // SettlementFailure returns the exact violation probability at horizon k —
 // the Table 1 quantity, served from the cache.
 func (o *Oracle) SettlementFailure(alpha, ph float64, k int) (float64, error) {
+	return o.settlementFailure(nil, alpha, ph, k)
+}
+
+// SettlementFailureCtx is SettlementFailure traced through ctx.
+func (o *Oracle) SettlementFailureCtx(ctx context.Context, alpha, ph float64, k int) (float64, error) {
+	return o.settlementFailure(telemetry.TraceFrom(ctx), alpha, ph, k)
+}
+
+func (o *Oracle) settlementFailure(tr *telemetry.Trace, alpha, ph float64, k int) (float64, error) {
 	o.cellQ.Add(1)
+	o.met.cellQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return 0, err
 	}
@@ -368,9 +407,9 @@ func (o *Oracle) SettlementFailure(alpha, ph float64, k int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	o.lockEntry(e)
+	o.lockEntry(e, tr)
 	defer e.mu.Unlock()
-	if err := o.extendLocked(e, k); err != nil {
+	if err := o.extendLocked(e, k, tr); err != nil {
 		return 0, err
 	}
 	return e.curve.Lower(k), nil
@@ -379,10 +418,19 @@ func (o *Oracle) SettlementFailure(alpha, ph float64, k int) (float64, error) {
 // TableCell answers a Table-1 cell query in the table's native
 // coordinates: honest fraction Pr[h]/(1−α), horizon k, column α.
 func (o *Oracle) TableCell(frac float64, k int, alpha float64) (float64, error) {
+	return o.tableCell(nil, frac, k, alpha)
+}
+
+// TableCellCtx is TableCell traced through ctx.
+func (o *Oracle) TableCellCtx(ctx context.Context, frac float64, k int, alpha float64) (float64, error) {
+	return o.tableCell(telemetry.TraceFrom(ctx), frac, k, alpha)
+}
+
+func (o *Oracle) tableCell(tr *telemetry.Trace, frac float64, k int, alpha float64) (float64, error) {
 	if frac < 0 || frac > 1 {
 		return 0, fmt.Errorf("oracle: honest fraction %v outside [0, 1]", frac)
 	}
-	return o.SettlementFailure(alpha, frac*(1-alpha), k)
+	return o.settlementFailure(tr, alpha, frac*(1-alpha), k)
 }
 
 // SettlementBracket returns the rigorous bracket [lower, upper] at horizon
@@ -390,7 +438,17 @@ func (o *Oracle) TableCell(frac float64, k int, alpha float64) (float64, error) 
 // the exact value). Brackets at different τ are different chains and cache
 // under different keys.
 func (o *Oracle) SettlementBracket(alpha, ph float64, k int, tau float64) (lower, upper float64, err error) {
+	return o.settlementBracket(nil, alpha, ph, k, tau)
+}
+
+// SettlementBracketCtx is SettlementBracket traced through ctx.
+func (o *Oracle) SettlementBracketCtx(ctx context.Context, alpha, ph float64, k int, tau float64) (lower, upper float64, err error) {
+	return o.settlementBracket(telemetry.TraceFrom(ctx), alpha, ph, k, tau)
+}
+
+func (o *Oracle) settlementBracket(tr *telemetry.Trace, alpha, ph float64, k int, tau float64) (lower, upper float64, err error) {
 	o.bracketQ.Add(1)
+	o.met.bracketQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return 0, 0, err
 	}
@@ -398,9 +456,9 @@ func (o *Oracle) SettlementBracket(alpha, ph float64, k int, tau float64) (lower
 	if err != nil {
 		return 0, 0, err
 	}
-	o.lockEntry(e)
+	o.lockEntry(e, tr)
 	defer e.mu.Unlock()
-	if err := o.extendLocked(e, k); err != nil {
+	if err := o.extendLocked(e, k, tr); err != nil {
 		return 0, 0, err
 	}
 	lower, upper = e.curve.Bracket(k)
@@ -412,7 +470,17 @@ func (o *Oracle) SettlementBracket(alpha, ph float64, k int, tau float64) (lower
 // search run over the cached upper-bound chain, so repeated depth queries
 // at one parameter point pay only incremental lattice steps.
 func (o *Oracle) ConfirmationDepth(alpha, ph, target float64, kmax int) (int, error) {
+	return o.confirmationDepth(nil, alpha, ph, target, kmax)
+}
+
+// ConfirmationDepthCtx is ConfirmationDepth traced through ctx.
+func (o *Oracle) ConfirmationDepthCtx(ctx context.Context, alpha, ph, target float64, kmax int) (int, error) {
+	return o.confirmationDepth(telemetry.TraceFrom(ctx), alpha, ph, target, kmax)
+}
+
+func (o *Oracle) confirmationDepth(tr *telemetry.Trace, alpha, ph, target float64, kmax int) (int, error) {
 	o.depthQ.Add(1)
+	o.met.depthQ.Inc()
 	if !(target > 0 && target < 1) { // positive form also rejects NaN
 		return 0, fmt.Errorf("oracle: target %v outside (0,1)", target)
 	}
@@ -423,20 +491,20 @@ func (o *Oracle) ConfirmationDepth(alpha, ph, target float64, kmax int) (int, er
 	if err != nil {
 		return 0, err
 	}
-	o.lockEntry(e)
+	o.lockEntry(e, tr)
 	defer e.mu.Unlock()
-	return o.depthLocked(e, target, kmax)
+	return o.depthLocked(e, target, kmax, tr)
 }
 
 // depthLocked runs the doubling search under the entry lock; it is shared
 // by ConfirmationDepth and the batch executor (which revalidates kmax on
 // this path).
-func (o *Oracle) depthLocked(e *entry, target float64, kmax int) (int, error) {
+func (o *Oracle) depthLocked(e *entry, target float64, kmax int, tr *telemetry.Trace) (int, error) {
 	if kmax > MaxDepthKMax {
 		return 0, fmt.Errorf("oracle: kmax %d outside [1, %d]", kmax, MaxDepthKMax)
 	}
 	cap := e.comp.CapForTarget(target)
-	extend := func(k int) (*lattice.Curve, error) { return o.upperLocked(e, cap, k) }
+	extend := func(k int) (*lattice.Curve, error) { return o.upperLocked(e, cap, k, tr) }
 	return settlement.DepthSearch(extend, target, kmax)
 }
 

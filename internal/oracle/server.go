@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"multihonest/internal/settlement"
+	"multihonest/internal/telemetry"
 )
 
 // Server is the HTTP JSON front end of an Oracle. Construct with
@@ -82,6 +83,24 @@ func badRequest(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 }
 
+// writeJSONTraced is writeJSON with the encode time charged to the
+// request trace's serialize phase.
+func writeJSONTraced(tr *telemetry.Trace, w http.ResponseWriter, status int, v any) {
+	start := time.Now()
+	writeJSON(w, status, v)
+	tr.Add(telemetry.PhaseSerialize, time.Since(start))
+}
+
+// traceOf pulls the request trace out of the context (nil — inert — when
+// the server runs without the telemetry middleware) and closes its queue
+// phase: the time between the trace's birth at the HTTP edge and the
+// handler actually starting on the query.
+func traceOf(r *http.Request) *telemetry.Trace {
+	tr := telemetry.TraceFrom(r.Context())
+	tr.MarkQueueDone()
+	return tr
+}
+
 // qfloat parses a required float query parameter.
 func qfloat(r *http.Request, name string) (float64, error) {
 	raw := r.URL.Query().Get(name)
@@ -149,6 +168,7 @@ func canonicalFields(alpha, ph float64) keyFields {
 }
 
 func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	alpha, ph, err := params(r)
 	if err != nil {
 		badRequest(w, err)
@@ -164,7 +184,7 @@ func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	depth, err := s.o.ConfirmationDepth(alpha, ph, target, kmax)
+	depth, err := s.o.ConfirmationDepthCtx(r.Context(), alpha, ph, target, kmax)
 	if err != nil {
 		// An unreachable target is a legitimate semantic outcome of a
 		// well-formed query (slow-decay parameter point), not a client
@@ -179,7 +199,7 @@ func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		keyFields
 		Target float64 `json:"target"`
 		KMax   int     `json:"kmax"`
@@ -188,6 +208,7 @@ func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	alpha, ph, err := params(r)
 	if err != nil {
 		badRequest(w, err)
@@ -198,12 +219,12 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	curve, err := s.o.SettlementCurve(alpha, ph, k)
+	curve, err := s.o.SettlementCurveCtx(r.Context(), alpha, ph, k)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		keyFields
 		K     int       `json:"k"`
 		Curve []float64 `json:"curve"`
@@ -211,6 +232,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFailure(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	alpha, ph, err := params(r)
 	if err != nil {
 		badRequest(w, err)
@@ -221,12 +243,12 @@ func (s *Server) handleFailure(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	p, err := s.o.SettlementFailure(alpha, ph, k)
+	p, err := s.o.SettlementFailureCtx(r.Context(), alpha, ph, k)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		keyFields
 		K int     `json:"k"`
 		P float64 `json:"p"`
@@ -234,6 +256,7 @@ func (s *Server) handleFailure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	alpha, err := qfloat(r, "alpha")
 	if err != nil {
 		badRequest(w, err)
@@ -249,12 +272,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	p, err := s.o.TableCell(frac, k, alpha)
+	p, err := s.o.TableCellCtx(r.Context(), frac, k, alpha)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		keyFields
 		K int     `json:"k"`
 		P float64 `json:"p"`
@@ -262,6 +285,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBracket(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	alpha, ph, err := params(r)
 	if err != nil {
 		badRequest(w, err)
@@ -279,12 +303,12 @@ func (s *Server) handleBracket(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	lo, hi, err := s.o.SettlementBracket(alpha, ph, k, tau)
+	lo, hi, err := s.o.SettlementBracketCtx(r.Context(), alpha, ph, k, tau)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		keyFields
 		K     int     `json:"k"`
 		Tau   float64 `json:"tau"`
@@ -302,6 +326,7 @@ type batchRequest struct {
 const MaxBatchQueries = 4096
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(r)
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -318,7 +343,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results, plan, err := s.o.Batch(req.Queries, s.workers)
+	results, plan, err := s.o.BatchCtx(r.Context(), req.Queries, s.workers)
 	if err != nil {
 		// Batch-level errors are request-shape rejections (e.g. the
 		// aggregate curve-point cap); per-query failures land in their
@@ -326,7 +351,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	writeJSONTraced(tr, w, http.StatusOK, struct {
 		Plan      BatchPlan     `json:"plan"`
 		ElapsedMS float64       `json:"elapsed_ms"`
 		Results   []BatchResult `json:"results"`

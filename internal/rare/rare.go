@@ -118,7 +118,7 @@ func roundSeed(seed int64, r int) int64 {
 // symbol-at-a-time engine this ran on before.
 func runTilted(opt Options, T int, fill runner.BlockSampler, newVerdict func() *TiltedVerdict) (runner.WeightedEstimate, int, error) {
 	var est runner.WeightedEstimate
-	cfg := runner.Config{N: opt.N, Workers: opt.Workers, BatchSize: opt.BatchSize}
+	cfg := runner.Config{N: opt.N, Workers: opt.Workers, BatchSize: opt.BatchSize, Name: "rare_tilted"}
 	for r := 0; r < opt.MaxRounds; r++ {
 		cfg.Seed = roundSeed(opt.Seed, r)
 		e, err := runner.RunStreamWeightedBlocks(cfg, T, fill, newVerdict)
@@ -199,7 +199,7 @@ func SettlementTilted(p charstring.Params, k int, opt Options) (Result, error) {
 		var err error
 		theta, pilotN, err = AutoTheta(SaddleTheta(p), nil, max(opt.N/10, 10_000), opt.Seed,
 			func(th float64, n int, seed int64) (runner.WeightedEstimate, error) {
-				return runner.RunWeightedStates(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize}, newState([]float64{th}))
+				return runner.RunWeightedStates(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize, Name: "rare_pilot"}, newState([]float64{th}))
 			})
 		if err != nil {
 			return Result{}, err
@@ -208,7 +208,7 @@ func SettlementTilted(p charstring.Params, k int, opt Options) (Result, error) {
 	}
 	var est runner.WeightedEstimate
 	rounds := 0
-	cfg := runner.Config{N: opt.N, Workers: opt.Workers, BatchSize: opt.BatchSize}
+	cfg := runner.Config{N: opt.N, Workers: opt.Workers, BatchSize: opt.BatchSize, Name: "rare_margin_tilt"}
 	for r := 0; r < opt.MaxRounds; r++ {
 		cfg.Seed = roundSeed(opt.Seed, r)
 		e, err := runner.RunWeightedStates(cfg, newState(mix))
@@ -265,7 +265,7 @@ func CPTilted(p charstring.Params, T, k int, consistentTies bool, opt Options) (
 		theta, pilotN, err = AutoTheta(SaddleTheta(p), nil, max(opt.N/10, 10_000), opt.Seed,
 			func(th float64, n int, seed int64) (runner.WeightedEstimate, error) {
 				fill, newV := job(th)
-				return runner.RunStreamWeightedBlocks(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize}, T, fill, newV)
+				return runner.RunStreamWeightedBlocks(runner.Config{N: n, Seed: seed, Workers: opt.Workers, BatchSize: opt.BatchSize, Name: "rare_pilot"}, T, fill, newV)
 			})
 		if err != nil {
 			return Result{}, err

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"multihonest/internal/charstring"
+	"multihonest/internal/telemetry"
+)
+
+// TestInstrumentRecordsJobs runs instrumented batch and streaming jobs
+// and checks the per-job series: sample counts exact, throughput gauge
+// set, active gauge back to zero, and the Estimate untouched by the
+// instrumentation (Name is display metadata, never sampling scheme).
+func TestInstrumentRecordsJobs(t *testing.T) {
+	reg := telemetry.New()
+	Instrument(reg)
+	defer met.Store(nil)
+
+	sample := func(rng *rand.Rand) charstring.String {
+		return charstring.String{charstring.Adversarial}
+	}
+	verdict := func(w charstring.String) (bool, error) { return true, nil }
+
+	cfg := Config{N: 1000, Seed: 7, Workers: 2, BatchSize: 64, Name: "job_a"}
+	bare, err := Run(Config{N: 1000, Seed: 7, Workers: 2, BatchSize: 64}, sample, verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Run(cfg, sample, verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != bare {
+		t.Fatalf("instrumented estimate %+v differs from bare %+v", inst, bare)
+	}
+
+	if _, err := RunStream(Config{N: 500, Seed: 1, Name: "job_b"}, 4,
+		func(rng *SM64, slot int) charstring.Symbol { return charstring.Symbol(rng.Uint64() % 3) },
+		func() StreamVerdict { return &constVerdict{} }); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sc.Value("runner_samples_total", map[string]string{"job": "job_a"}); got != 1000 {
+		t.Errorf("job_a samples = %v, want 1000", got)
+	}
+	if got, _ := sc.Value("runner_samples_total", map[string]string{"job": "job_b"}); got != 500 {
+		t.Errorf("job_b samples = %v, want 500", got)
+	}
+	if got, ok := sc.Value("runner_samples_per_second", map[string]string{"job": "job_a"}); !ok || got <= 0 {
+		t.Errorf("job_a rate = %v (present=%v), want > 0", got, ok)
+	}
+	if got, _ := sc.Value("runner_active_jobs", nil); got != 0 {
+		t.Errorf("active jobs = %v after completion, want 0", got)
+	}
+}
+
+// TestTrackerZeroAllocs pins the per-batch telemetry cost inside the
+// aggregator loops: recording a completed batch allocates nothing.
+func TestTrackerZeroAllocs(t *testing.T) {
+	reg := telemetry.New()
+	Instrument(reg)
+	defer met.Store(nil)
+	cfg := Config{Name: "alloc_job"}
+	tk := track(&cfg)
+	defer tk.finish()
+	if allocs := testing.AllocsPerRun(200, func() { tk.batch(256) }); allocs != 0 {
+		t.Fatalf("tracker batch: %v allocs/op, want 0", allocs)
+	}
+	var nilTk *jobTracker
+	if allocs := testing.AllocsPerRun(200, func() { nilTk.batch(256); nilTk.finish() }); allocs != 0 {
+		t.Fatalf("nil tracker: %v allocs/op, want 0", allocs)
+	}
+}
+
+type constVerdict struct{ n int }
+
+func (v *constVerdict) Reset()                          { v.n = 0 }
+func (v *constVerdict) Feed(charstring.Symbol) (d bool) { v.n++; return v.n >= 2 }
+func (v *constVerdict) Finish() (bool, error)           { return true, nil }

@@ -84,6 +84,10 @@ type Config struct {
 	// Progress, when non-nil, receives (samples done so far, N) from the
 	// aggregator as batches complete. It runs on a single goroutine.
 	Progress func(done, total int)
+	// Name labels the job's telemetry series (see Instrument); empty is
+	// reported as "unnamed". It is display metadata only — never part of
+	// the sampling scheme.
+	Name string
 }
 
 func (c Config) workers() int {
@@ -168,6 +172,10 @@ func Run(cfg Config, sample Sampler, verdict Verdict) (Estimate, error) {
 
 	// Streaming aggregation: integer hit counts commute, so accumulation
 	// order — which depends on scheduling — cannot affect the total.
+	// Telemetry is batch-granular here in the aggregator: the sample loops
+	// above never touch it.
+	tk := track(&cfg)
+	defer tk.finish()
 	hits, done := 0, 0
 	var firstErr error
 	for r := range results {
@@ -179,6 +187,7 @@ func Run(cfg Config, sample Sampler, verdict Verdict) (Estimate, error) {
 		}
 		hits += r.hits
 		done += r.n
+		tk.batch(r.n)
 		if cfg.Progress != nil {
 			cfg.Progress(done, cfg.N)
 		}

@@ -172,7 +172,10 @@ func streamPool(cfg Config, newJudge func() func(rng *SM64) (bool, error)) (Esti
 		close(results)
 	}()
 
-	// Same order-independent integer fold as Run.
+	// Same order-independent integer fold as Run; telemetry stays
+	// batch-granular and out of the fused sample loop.
+	tk := track(&cfg)
+	defer tk.finish()
 	hits, done := 0, 0
 	var firstErr error
 	for r := range results {
@@ -184,6 +187,7 @@ func streamPool(cfg Config, newJudge func() func(rng *SM64) (bool, error)) (Esti
 		}
 		hits += r.hits
 		done += r.n
+		tk.batch(r.n)
 		if cfg.Progress != nil {
 			cfg.Progress(done, cfg.N)
 		}

@@ -143,6 +143,10 @@ func runWeightedPool(cfg Config, newJudge func() func(rng *SM64) (bool, float64,
 	bs := cfg.batchSize()
 	batches := (cfg.N + bs - 1) / bs
 	workers := min(cfg.workers(), batches)
+	// Telemetry opens before the pool and folds with the partials below —
+	// the weighted pool has no streaming aggregator goroutine to hook.
+	tk := track(&cfg)
+	defer tk.finish()
 
 	partials := make([]weightedBatch, batches)
 	var next atomic.Int64
@@ -226,6 +230,7 @@ func runWeightedPool(cfg Config, newJudge func() func(rng *SM64) (bool, float64,
 		sumW += p.sumW
 		sumW2 += p.sumW2
 		hits += p.hits
+		tk.batch(p.n)
 	}
 	return NewWeightedEstimate(cfg.N, hits, sumW, sumW2), nil
 }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full text exposition byte-for-byte:
+// family and series ordering, HELP/TYPE headers, label escaping, and the
+// cumulative histogram encoding.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Gauge("a_gauge", "a gauge").Set(2.5)
+	v := r.CounterVec("peer_total", "per peer", "peer")
+	v.With("http://b:1").Add(3)
+	v.With(`quo"te`).Inc()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(9)
+	r.GaugeFunc("fn_gauge", "computed", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge a gauge
+# TYPE a_gauge gauge
+a_gauge 2.5
+# HELP fn_gauge computed
+# TYPE fn_gauge gauge
+fn_gauge 42
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 9.6
+lat_seconds_count 4
+# HELP peer_total per peer
+# TYPE peer_total counter
+peer_total{peer="http://b:1"} 3
+peer_total{peer="quo\"te"} 1
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("h_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body missing sample: %q", rec.Body.String())
+	}
+}

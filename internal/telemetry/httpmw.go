@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPMetrics is the edge instrumentation of an HTTP service: request
+// counts and duration histograms by (endpoint, status), plus an in-flight
+// gauge. Construct with NewHTTPMetrics and wrap handlers with Middleware.
+type HTTPMetrics struct {
+	requests *CounterVec
+	duration *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the edge metric families under the given
+// prefix (e.g. "serve" yields serve_http_requests_total).
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			"endpoint", "status"),
+		duration: reg.HistogramVec(prefix+"_http_request_duration_seconds",
+			"End-to-end HTTP request latency, by endpoint and status code.",
+			nil, "endpoint", "status"),
+		inflight: reg.Gauge(prefix+"_http_requests_inflight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// knownEndpoints bounds the endpoint label's cardinality: every route the
+// oracle service exposes, with anything else (scans, typos) folded into
+// "other" so an adversarial client cannot mint unbounded series.
+var knownEndpoints = map[string]bool{
+	"/v1/depth": true, "/v1/curve": true, "/v1/failure": true,
+	"/v1/cell": true, "/v1/bracket": true, "/v1/batch": true,
+	"/healthz": true, "/healthz/live": true, "/healthz/ready": true,
+	"/metrics": true, "/debug/vars": true,
+}
+
+// Endpoint normalizes a request path onto the bounded endpoint label set.
+func Endpoint(path string) string {
+	if knownEndpoints[path] {
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status and body size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// quietPaths are endpoints whose request logs would be pure noise —
+// probe polls and scrapes arrive many times a second. Their metrics are
+// still recorded; only the per-request log line is suppressed.
+var quietPaths = map[string]bool{
+	"/healthz": true, "/healthz/live": true, "/healthz/ready": true,
+	"/metrics": true,
+}
+
+// Middleware wraps next with the telemetry edge: it adopts the incoming
+// TraceHeader (or mints a trace ID), stores the request Trace in the
+// context for the layers below to fill in, echoes the ID on the response,
+// records the (endpoint, status) duration histogram, and emits one
+// structured request log line carrying the trace ID and phase breakdown
+// (suppressed for health probes and metric scrapes). A nil logger
+// disables logging; a nil m disables metrics.
+func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := NewTrace(r.Header.Get(TraceHeader))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set(TraceHeader, tr.ID)
+		if m != nil {
+			m.inflight.Add(1)
+		}
+		next.ServeHTTP(sw, r.WithContext(WithTrace(r.Context(), tr)))
+		elapsed := time.Since(tr.Start())
+		if m != nil {
+			m.inflight.Add(-1)
+			ep, st := Endpoint(r.URL.Path), strconv.Itoa(sw.status)
+			m.requests.With(ep, st).Inc()
+			m.duration.With(ep, st).ObserveDuration(elapsed)
+		}
+		if logger != nil && !quietPaths[r.URL.Path] {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("trace", tr.ID),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("elapsed", elapsed),
+				slog.String("phases", tr.PhaseString()),
+			)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMiddlewareMintsAndEchoesTraceID(t *testing.T) {
+	r := New()
+	m := NewHTTPMetrics(r, "serve")
+	var seen *Trace
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		seen = TraceFrom(req.Context())
+		seen.Add(PhaseBuild, 2*time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}), m, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/cell?x=1", nil))
+	if seen == nil || seen.ID == "" {
+		t.Fatal("handler did not receive a trace")
+	}
+	if got := rec.Header().Get(TraceHeader); got != seen.ID {
+		t.Fatalf("response header %q, want %q", got, seen.ID)
+	}
+	if got := m.requests.With("/v1/cell", "200").Value(); got != 1 {
+		t.Fatalf("request counter = %d, want 1", got)
+	}
+	if got := m.duration.With("/v1/cell", "200").Count(); got != 1 {
+		t.Fatalf("duration count = %d, want 1", got)
+	}
+}
+
+func TestMiddlewareAdoptsIncomingTraceID(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if id := TraceFrom(req.Context()).ID; id != "forwarded01234ab" {
+			t.Fatalf("trace ID = %q, want the forwarded one", id)
+		}
+	}), nil, nil)
+	req := httptest.NewRequest("GET", "/v1/depth", nil)
+	req.Header.Set(TraceHeader, "forwarded01234ab")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+}
+
+func TestMiddlewareLogsTraceAndPhases(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		TraceFrom(req.Context()).Add(PhaseExtend, 3*time.Millisecond)
+		w.WriteHeader(http.StatusBadRequest)
+	}), nil, logger)
+	req := httptest.NewRequest("GET", "/v1/curve", nil)
+	req.Header.Set(TraceHeader, "aaaabbbbccccdddd")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	log := buf.String()
+	for _, want := range []string{"trace=aaaabbbbccccdddd", "status=400", "extend=3ms", "path=/v1/curve"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log line missing %q: %s", want, log)
+		}
+	}
+	// Probe endpoints are metered but never logged.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz/ready", nil))
+	if strings.Contains(buf.String(), "/healthz/ready") {
+		t.Errorf("probe request was logged: %s", buf.String())
+	}
+}
+
+func TestEndpointNormalization(t *testing.T) {
+	cases := map[string]string{
+		"/v1/cell":           "/v1/cell",
+		"/healthz/ready":     "/healthz/ready",
+		"/metrics":           "/metrics",
+		"/debug/pprof/heap":  "/debug/pprof",
+		"/etc/passwd":        "other",
+		"/v1/cell/../secret": "other",
+	}
+	for path, want := range cases {
+		if got := Endpoint(path); got != want {
+			t.Errorf("Endpoint(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestMiddlewareStatusDefault(t *testing.T) {
+	r := New()
+	m := NewHTTPMetrics(r, "serve")
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("implicit 200")) // no WriteHeader call
+	}), m, nil)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	if got := m.requests.With("/healthz", "200").Value(); got != 1 {
+		t.Fatalf("implicit 200 not recorded: %d", got)
+	}
+}

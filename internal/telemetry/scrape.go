@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the client side of the exposition format: a small parser
+// for Prometheus text scrapes plus the aggregation helpers cmd/loadgen
+// -scrape uses to fold server-side latency histograms and cluster
+// counters into its report. It parses the subset this repo emits (HELP /
+// TYPE comments, optionally-labeled samples, escaped label values) —
+// enough for self-scraping, not a general OpenMetrics parser.
+
+// ScrapeSample is one parsed exposition line.
+type ScrapeSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is one parsed /metrics payload.
+type Scrape struct {
+	Samples []ScrapeSample
+}
+
+// ParseText parses a Prometheus text exposition payload.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out Scrape
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` or `name value`.
+func parseSampleLine(line string) (ScrapeSample, error) {
+	s := ScrapeSample{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("telemetry: malformed sample line %q", line)
+		}
+		labels, err := parseLabels(line[i+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("telemetry: %w in line %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("telemetry: malformed sample line %q", line)
+		}
+		s.Name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("telemetry: bad value in line %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a label braces block.
+func parseLabels(in string) (map[string]string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for i < len(in) {
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("missing '=' in labels")
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		i++
+		var b strings.Builder
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(in[i])
+				}
+			} else {
+				b.WriteByte(in[i])
+			}
+			i++
+		}
+		if i >= len(in) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		labels[key] = b.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// Value returns the single sample with the given name and exactly-matching
+// labels (nil matches an unlabeled sample).
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	for _, smp := range s.Samples {
+		if smp.Name != name || len(smp.Labels) != len(labels) {
+			continue
+		}
+		if labelsMatch(smp.Labels, labels) {
+			return smp.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumFunc sums every sample of the given name whose label set satisfies
+// match (a nil match accepts all series) — how per-peer counters fold to
+// cluster totals and per-endpoint histograms to service-wide ones.
+func (s *Scrape) SumFunc(name string, match func(labels map[string]string) bool) float64 {
+	var sum float64
+	for _, smp := range s.Samples {
+		if smp.Name != name {
+			continue
+		}
+		if match == nil || match(smp.Labels) {
+			sum += smp.Value
+		}
+	}
+	return sum
+}
+
+func labelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Buckets aggregates the cumulative le-buckets of the histogram family
+// name across every series accepted by match, returning le → count.
+func (s *Scrape) Buckets(name string, match func(labels map[string]string) bool) map[float64]float64 {
+	out := make(map[float64]float64)
+	for _, smp := range s.Samples {
+		if smp.Name != name+"_bucket" {
+			continue
+		}
+		if match != nil && !match(smp.Labels) {
+			continue
+		}
+		leRaw, ok := smp.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseLe(leRaw)
+		if err != nil {
+			continue
+		}
+		out[le] += smp.Value
+	}
+	return out
+}
+
+func parseLe(raw string) (float64, error) {
+	if raw == "+Inf" {
+		return infBound, nil
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+// infBound stands in for the +Inf bucket bound in aggregated maps.
+const infBound = 1e308
+
+// QuantileFromBuckets estimates the q-quantile from aggregated cumulative
+// buckets (as returned by Buckets, or an elementwise difference of two
+// such maps for a windowed estimate). Same estimator as
+// Histogram.Quantile.
+func QuantileFromBuckets(buckets map[float64]float64, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	les := make([]float64, 0, len(buckets))
+	for le := range buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	bounds := make([]float64, 0, len(les))
+	cum := make([]float64, 0, len(les))
+	for _, le := range les {
+		if le != infBound {
+			bounds = append(bounds, le)
+		}
+		cum = append(cum, buckets[le])
+	}
+	if len(cum) == len(bounds) {
+		// No +Inf series present; synthesize it from the last bucket.
+		cum = append(cum, cum[len(cum)-1])
+	}
+	return quantileFromCumulative(bounds, cum, q)
+}
+
+// DeltaBuckets returns after − before, elementwise — the bucket increments
+// of a measurement window.
+func DeltaBuckets(before, after map[float64]float64) map[float64]float64 {
+	out := make(map[float64]float64, len(after))
+	for le, v := range after {
+		out[le] = v - before[le]
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries a request's trace ID across process boundaries: the
+// HTTP edge adopts an incoming value or mints one, cluster forwards and
+// hedged reads propagate it, and every replica's request log records it —
+// so one slow query is greppable across the whole replica set.
+const TraceHeader = "X-Multihonest-Trace"
+
+// traceState seeds the process-local trace ID stream: random base from
+// crypto/rand (so concurrent replicas never collide), advanced by the
+// splitmix64 golden gamma per ID.
+var traceState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		traceState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		traceState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewTraceID returns a fresh 16-hex-character trace ID. IDs are unique
+// within a process and collision-resistant across replicas (64 random
+// bits of seed); generation is one atomic add plus a finalizer mix.
+func NewTraceID() string {
+	x := traceState.Add(0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], x)
+	return hex.EncodeToString(b[:])
+}
+
+// Phase names one span of a request's life. The set is fixed so a Trace
+// is one cache line of atomic counters, not a growing span list.
+type Phase uint8
+
+const (
+	// PhaseQueue is edge arrival to the start of oracle work: routing,
+	// parameter parsing, and any wait before the query proper begins.
+	PhaseQueue Phase = iota
+	// PhaseCoalesceWait is time blocked on another goroutine's in-flight
+	// build or extension of the same cache entry.
+	PhaseCoalesceWait
+	// PhaseBuild is cold DP construction (first steps of a chain).
+	PhaseBuild
+	// PhaseExtend is incremental extension of an already-built curve.
+	PhaseExtend
+	// PhaseForward is time spent waiting on a peer replica's answer.
+	PhaseForward
+	// PhaseSerialize is JSON encoding of the response body.
+	PhaseSerialize
+	// NumPhases bounds the phase enum.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"queue", "coalesce_wait", "build", "extend", "forward", "serialize",
+}
+
+// String returns the snake_case phase name used in logs and metrics.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Trace is one request's identity and phase breakdown. Recording is an
+// atomic add into a fixed array — no locks, no allocation — and safe from
+// the hedge race's concurrent goroutines. A nil *Trace discards all
+// recordings, so instrumented code needs no call-site branches.
+type Trace struct {
+	ID     string
+	start  time.Time
+	phases [NumPhases]atomic.Int64
+}
+
+// NewTrace starts a trace now; an empty id mints a fresh one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// Start returns the trace's start time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Add accrues d into phase p.
+func (t *Trace) Add(p Phase, d time.Duration) {
+	if t == nil || p >= NumPhases || d <= 0 {
+		return
+	}
+	t.phases[p].Add(int64(d))
+}
+
+// MarkQueueDone records PhaseQueue as the time elapsed since the trace
+// started; handlers call it once, just before oracle work begins.
+func (t *Trace) MarkQueueDone() {
+	if t == nil {
+		return
+	}
+	t.Add(PhaseQueue, time.Since(t.start))
+}
+
+// Get returns the accrued duration of phase p.
+func (t *Trace) Get(p Phase) time.Duration {
+	if t == nil || p >= NumPhases {
+		return 0
+	}
+	return time.Duration(t.phases[p].Load())
+}
+
+// PhaseString renders the non-zero phases compactly for structured logs,
+// e.g. "queue=41µs build=12.3ms serialize=88µs". Empty when nothing was
+// recorded. Allocates; call on the logging path only.
+func (t *Trace) PhaseString() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for p := Phase(0); p < NumPhases; p++ {
+		d := time.Duration(t.phases[p].Load())
+		if d == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(phaseNames[p])
+		b.WriteByte('=')
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// traceKey is the context key of the request trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil — callers never branch,
+// they just record into the (nil-safe) result.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDFormat(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !re.MatchString(id) {
+			t.Fatalf("trace ID %q not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTracePhases(t *testing.T) {
+	tr := NewTrace("abc")
+	if tr.ID != "abc" {
+		t.Fatalf("ID = %q", tr.ID)
+	}
+	tr.Add(PhaseBuild, 3*time.Millisecond)
+	tr.Add(PhaseBuild, 2*time.Millisecond)
+	tr.Add(PhaseExtend, time.Millisecond)
+	tr.Add(PhaseExtend, -time.Second) // ignored
+	if got := tr.Get(PhaseBuild); got != 5*time.Millisecond {
+		t.Fatalf("build phase = %v, want 5ms", got)
+	}
+	if got := tr.Get(PhaseExtend); got != time.Millisecond {
+		t.Fatalf("extend phase = %v, want 1ms", got)
+	}
+	s := tr.PhaseString()
+	if !strings.Contains(s, "build=5ms") || !strings.Contains(s, "extend=1ms") {
+		t.Fatalf("PhaseString = %q", s)
+	}
+	if strings.Contains(s, "queue") {
+		t.Fatalf("PhaseString reports untouched phase: %q", s)
+	}
+}
+
+func TestMarkQueueDone(t *testing.T) {
+	tr := NewTrace("")
+	time.Sleep(2 * time.Millisecond)
+	tr.MarkQueueDone()
+	if got := tr.Get(PhaseQueue); got < time.Millisecond {
+		t.Fatalf("queue phase %v, want ≥ 1ms", got)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace("")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatal("empty context must yield nil trace")
+	}
+}
+
+func TestNilTraceInert(t *testing.T) {
+	var tr *Trace
+	tr.Add(PhaseBuild, time.Second)
+	tr.MarkQueueDone()
+	if tr.Get(PhaseBuild) != 0 || tr.PhaseString() != "" || !tr.Start().IsZero() {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseQueue: "queue", PhaseCoalesceWait: "coalesce_wait",
+		PhaseBuild: "build", PhaseExtend: "extend",
+		PhaseForward: "forward", PhaseSerialize: "serialize",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("phase %d = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Error("out-of-range phase must stringify as unknown")
+	}
+}
