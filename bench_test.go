@@ -6,6 +6,7 @@
 package multihonest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"multihonest/internal/rare"
 	"multihonest/internal/runner"
 	"multihonest/internal/settlement"
+	"multihonest/internal/telemetry"
 )
 
 var printOnce sync.Map
@@ -670,6 +672,29 @@ func BenchmarkOracleServe(b *testing.B) {
 				}
 			}
 		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	// recorded is the flight-recorder overhead probe: the serial stream
+	// served with full instrumentation — metrics registry, a live trace
+	// with its root span in the context, and every query offered to the
+	// recorder. The acceptance gate holds it within 5% of /serial.
+	b.Run("recorded", func(b *testing.B) {
+		o := oracle.New(0)
+		o.Instrument(telemetry.New())
+		rec := telemetry.NewRecorder(telemetry.RecorderConfig{})
+		tr := telemetry.NewTrace("")
+		root := tr.StartSpan("request", telemetry.SpanRef{})
+		defer root.End()
+		ctx := telemetry.WithTrace(context.Background(), tr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := stream[i%len(stream)]
+			if _, err := o.SettlementFailureCtx(ctx, q.alpha, q.ph, q.k); err != nil {
+				b.Fatal(err)
+			}
+			rec.Record(tr)
+		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 	})
 }

@@ -8,8 +8,8 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-duration 5s] [-concurrency 8]
 //	        [-keys 64] [-skew 1.2] [-kmax 400] [-ops cell,curve,failure,depth,bracket]
-//	        [-seed 1] [-json] [-verify 0] [-scrape]
-//	        [-chaos -serve-bin ./serve] [-min-success 0.99]
+//	        [-seed 1] [-json] [-verify 0] [-scrape] [-traces]
+//	        [-chaos -serve-bin ./serve] [-min-success 0.99] [-diagdir dir]
 //
 // With -verify F, a fraction F of completed requests is sampled and the
 // answers recomputed on a local cold oracle; any float that is not
@@ -24,6 +24,13 @@
 // carries a fresh X-Multihonest-Trace ID, so any failure reported here
 // can be grepped in the server's structured logs by trace.
 //
+// With -traces, loadgen reads every target's flight recorder
+// (/debug/traces) after the run, picks the slowest recorded request,
+// and reports its full span tree — queue, coalesce_wait, build, extend,
+// forward with per-attempt and hedge children, serialize — indented on
+// stdout (and as .slowest_trace in the -json report). The latency tail
+// the percentiles summarize becomes one concrete, named request.
+//
 // With -chaos, loadgen owns the topology: it spawns a 2-replica cluster
 // from -serve-bin, drives load at the survivor, SIGKILLs the victim
 // replica mid-run, restarts it on its snapshot, and waits for readiness
@@ -31,6 +38,10 @@
 // -min-success (default 0.99) even though a replica died with queries
 // sharded onto it. Replication must make the kill cost latency, not
 // availability, and -verify makes it provably not cost correctness.
+// -diagdir additionally arms each replica's anomaly watchdog with a
+// per-replica directory under it; bundle directories written during the
+// run (the survivor's breaker opening against the killed victim is the
+// expected trigger) land in the report as .chaos.diag_bundles.
 //
 // The exit status is the smoke contract for CI: non-zero when no
 // request completed, the success rate misses the bar (plain runs demand
@@ -106,10 +117,11 @@ type result struct {
 // 20ms readiness-poll quantization; Source records which clock produced
 // it ("gauge", or "client" when the victim's /metrics was unreachable).
 type chaosReport struct {
-	KilledAtSec      float64 `json:"killed_at_sec"`
-	DownSec          float64 `json:"down_sec"`
-	RestartToReadyMS float64 `json:"restart_to_ready_ms"`
-	Source           string  `json:"restart_to_ready_source"`
+	KilledAtSec      float64  `json:"killed_at_sec"`
+	DownSec          float64  `json:"down_sec"`
+	RestartToReadyMS float64  `json:"restart_to_ready_ms"`
+	Source           string   `json:"restart_to_ready_source"`
+	DiagBundles      []string `json:"diag_bundles,omitempty"`
 }
 
 // scrapeReport is the -scrape section of the summary: the delta of the
@@ -149,6 +161,10 @@ type summary struct {
 	MaxMS       float64       `json:"max_ms"`
 	Chaos       *chaosReport  `json:"chaos,omitempty"`
 	Scrape      *scrapeReport `json:"scrape,omitempty"`
+
+	// SlowestTrace is the -traces result: the slowest request the
+	// targets' flight recorders retained, full span tree included.
+	SlowestTrace *telemetry.TraceSnapshot `json:"slowest_trace,omitempty"`
 }
 
 // maxVerifySamples bounds the offline recompute pass.
@@ -182,9 +198,11 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	verify := flag.Float64("verify", 0, "fraction of answers recomputed locally and compared bitwise")
 	scrape := flag.Bool("scrape", false, "scrape the target's /metrics around the run and fold server-side latency and cluster counters into the report")
+	traces := flag.Bool("traces", false, "pull the targets' flight recorders after the run and report the slowest request's span tree")
 	chaos := flag.Bool("chaos", false, "spawn a 2-replica cluster and kill/restart one mid-run")
 	serveBin := flag.String("serve-bin", "", "path to the serve binary (-chaos only)")
 	minSuccess := flag.Float64("min-success", 0.99, "required success rate under -chaos")
+	diagdir := flag.String("diagdir", "", "arm each -chaos replica's anomaly watchdog under this directory")
 	flag.Parse()
 
 	if *concurrency < 1 || *keys < 1 || *skew <= 1 || *kmax < 2 {
@@ -197,14 +215,16 @@ func main() {
 	var chaosRep *chaosReport
 	chaosc := make(chan *chaosReport, 1)
 	target := *baseURL
+	traceTargets := []string{target}
 	if *chaos {
 		if *serveBin == "" {
 			fatal("-chaos requires -serve-bin")
 		}
-		cl := startCluster(*serveBin)
+		cl := startCluster(*serveBin, *diagdir)
 		teardown = cl.stop
 		defer cl.stop()
 		target = cl.survivorURL()
+		traceTargets = cl.urls
 		go func() {
 			chaosc <- cl.killRestartCycle(*duration)
 		}()
@@ -283,6 +303,17 @@ func main() {
 		case chaosRep = <-chaosc:
 		case <-time.After(30 * time.Second):
 		}
+		if chaosRep != nil && *diagdir != "" {
+			chaosRep.DiagBundles = findBundles(*diagdir)
+		}
+	}
+
+	var slowest *telemetry.TraceSnapshot
+	if *traces {
+		slowest = fetchSlowestTrace(client, traceTargets)
+		if slowest == nil {
+			logger.Warn("no recorded request trace on any target; is its flight recorder sampling?")
+		}
 	}
 
 	var all []float64
@@ -319,6 +350,8 @@ func main() {
 		MaxMS:       percentile(all, 1) * 1e3,
 		Chaos:       chaosRep,
 		Scrape:      scrapeRep,
+
+		SlowestTrace: slowest,
 	}
 	if elapsed > 0 {
 		s.QPS = float64(total) / elapsed.Seconds()
@@ -349,6 +382,12 @@ func main() {
 		if chaosRep != nil {
 			fmt.Printf("chaos: victim killed at %.2fs, down %.2fs, restart-to-ready %.1fms (%s)\n",
 				chaosRep.KilledAtSec, chaosRep.DownSec, chaosRep.RestartToReadyMS, chaosRep.Source)
+			for _, b := range chaosRep.DiagBundles {
+				fmt.Printf("chaos: diagnostics bundle %s\n", b)
+			}
+		}
+		if slowest != nil {
+			printSpanTree(slowest)
 		}
 	}
 
@@ -416,6 +455,93 @@ func foldScrapes(before, after *telemetry.Scrape) *scrapeReport {
 		}
 	}
 	return rep
+}
+
+// fetchSlowestTrace reads every target's flight recorder and returns
+// the slowest retained request trace (operational traces — snapshot
+// saves, runner jobs — are skipped: the question -traces answers is
+// "what did the worst *request* spend its time on").
+func fetchSlowestTrace(client *http.Client, bases []string) *telemetry.TraceSnapshot {
+	var slowest *telemetry.TraceSnapshot
+	for _, base := range bases {
+		resp, err := client.Get(base + "/debug/traces")
+		if err != nil {
+			logger.Warn("trace scrape failed", "target", base, "err", err)
+			continue
+		}
+		var list telemetry.TraceList
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			logger.Warn("trace scrape undecodable", "target", base, "err", err)
+			continue
+		}
+		for i := range list.Traces {
+			ts := &list.Traces[i]
+			if len(ts.Spans) == 0 || ts.Spans[0].Name != "request" {
+				continue
+			}
+			if slowest == nil || ts.DurNS > slowest.DurNS {
+				slowest = ts
+			}
+		}
+	}
+	return slowest
+}
+
+// printSpanTree renders one recorded trace as an indented tree, children
+// under parents in arena (start) order, with per-span attrs inline.
+func printSpanTree(ts *telemetry.TraceSnapshot) {
+	fmt.Printf("slowest recorded request: trace %s, %.3fms", ts.ID, float64(ts.DurNS)/1e6)
+	if len(ts.Flags) > 0 {
+		fmt.Printf(", flags %s", strings.Join(ts.Flags, ","))
+	}
+	fmt.Println()
+	children := make(map[int][]int)
+	for i, sp := range ts.Spans {
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		sp := ts.Spans[idx]
+		fmt.Printf("  %s%-14s %9.3fms", strings.Repeat("  ", depth), sp.Name, float64(sp.DurNS)/1e6)
+		if sp.Value != 0 {
+			fmt.Printf("  value=%d", sp.Value)
+		}
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%s", k, sp.Attrs[k])
+		}
+		fmt.Println()
+		for _, c := range children[idx] {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range children[-1] {
+		walk(root, 0)
+	}
+	if ts.DroppedSpans > 0 {
+		fmt.Printf("  (%d spans dropped: arena full)\n", ts.DroppedSpans)
+	}
+}
+
+// findBundles lists the diagnostics bundle directories the -chaos
+// replicas' watchdogs wrote (each holds a meta.json).
+func findBundles(dir string) []string {
+	metas, err := filepath.Glob(filepath.Join(dir, "*", "*", "meta.json"))
+	if err != nil {
+		return nil
+	}
+	bundles := make([]string, 0, len(metas))
+	for _, m := range metas {
+		bundles = append(bundles, filepath.Dir(m))
+	}
+	sort.Strings(bundles)
+	return bundles
 }
 
 // makeUniverse draws the deterministic parameter-point universe: α and
@@ -599,18 +725,19 @@ func percentile(sorted []float64, q float64) float64 {
 // cluster is the -chaos topology: two serve replicas sharing a peer
 // map; replica 0 is the survivor taking the load, replica 1 the victim.
 type cluster struct {
-	bin   string
-	dir   string
-	addrs []string
-	urls  []string
-	procs []*exec.Cmd
-	done  []chan struct{} // closed when procs[i] is reaped
+	bin     string
+	dir     string
+	diagdir string // arm replica watchdogs under here (empty = off)
+	addrs   []string
+	urls    []string
+	procs   []*exec.Cmd
+	done    []chan struct{} // closed when procs[i] is reaped
 }
 
 // startCluster reserves two ports, boots both replicas, and waits until
 // both are ready.
-func startCluster(bin string) *cluster {
-	cl := &cluster{bin: bin}
+func startCluster(bin, diagdir string) *cluster {
+	cl := &cluster{bin: bin, diagdir: diagdir}
 	var err error
 	cl.dir, err = os.MkdirTemp("", "loadgen-chaos-*")
 	if err != nil {
@@ -645,6 +772,13 @@ func (cl *cluster) launch(i int) {
 		"-self", cl.urls[i],
 		"-snapshot", filepath.Join(cl.dir, fmt.Sprintf("replica%d.mhsnap", i)),
 		"-checkpoint", "1s",
+		// Chaos is a diagnostic harness: record every request, so the
+		// -traces report always has the slowest one.
+		"-trace-sample", "1",
+	}
+	if cl.diagdir != "" {
+		args = append(args,
+			"-diagdir", filepath.Join(cl.diagdir, fmt.Sprintf("replica%d", i)))
 	}
 	cmd := exec.Command(cl.bin, args...)
 	cmd.Stderr = os.Stderr

@@ -306,6 +306,128 @@ func TestColdStartAndReadiness(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderEndToEnd: a debug-logging replica with sampling
+// wide open records every request; /debug/traces lists them, a single
+// fetch returns the full span tree with the expected phases, a
+// malformed trace header is rejected in favor of a minted ID, and the
+// debug log carries per-span lines.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	r := startReplica(t, "-log-level", "debug", "-trace-sample", "1")
+	waitReady(t, r)
+
+	// A malformed header must not be adopted: 16 chars but uppercase hex.
+	req, err := http.NewRequest("GET", r.url("/v1/curve?alpha=0.25&frac=0.5&k=80"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const badID = "FEEDFACECAFEBEEF"
+	req.Header.Set("X-Multihonest-Trace", badID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	minted := resp.Header.Get("X-Multihonest-Trace")
+	if minted == badID || len(minted) != 16 || strings.ToLower(minted) != minted {
+		t.Fatalf("malformed trace header adopted: got %q back", minted)
+	}
+
+	// List: the recorded trace must be there under the minted ID.
+	resp, err = http.Get(r.url("/debug/traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Kept   int64 `json:"kept"`
+		Traces []struct {
+			ID    string `json:"id"`
+			DurNS int64  `json:"dur_ns"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("/debug/traces: %v", err)
+	}
+	resp.Body.Close()
+	if list.Kept == 0 || len(list.Traces) == 0 {
+		t.Fatalf("recorder empty after a recorded request: %+v", list)
+	}
+	found := false
+	for _, ts := range list.Traces {
+		if ts.ID == minted {
+			found = true
+			if ts.DurNS <= 0 {
+				t.Errorf("recorded trace %s has dur_ns %d, want > 0", minted, ts.DurNS)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("minted trace %s not in /debug/traces list: %+v", minted, list.Traces)
+	}
+
+	// Single fetch: the span tree must hold the request root plus the
+	// oracle's cold-build phases, all parented into one tree.
+	resp, err = http.Get(r.url("/debug/traces?id=" + minted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one struct {
+		Spans []struct {
+			Name   string `json:"name"`
+			Parent int    `json:"parent"`
+			DurNS  int64  `json:"dur_ns"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatalf("/debug/traces?id=: %v", err)
+	}
+	resp.Body.Close()
+	names := make(map[string]bool)
+	for _, sp := range one.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"request", "queue", "build", "serialize"} {
+		if !names[want] {
+			t.Fatalf("span tree missing %q: have %v", want, names)
+		}
+	}
+	if one.Spans[0].Name != "request" || one.Spans[0].Parent != -1 {
+		t.Fatalf("root span = %+v, want request with parent -1", one.Spans[0])
+	}
+
+	// An unknown ID is a 404, not an empty 200.
+	resp, err = http.Get(r.url("/debug/traces?id=0000000000000000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace returned %d, want 404", resp.StatusCode)
+	}
+
+	// /metrics must link the request's latency bucket to the trace by
+	// exemplar, and -log-level debug must have produced span lines.
+	resp, err = http.Get(r.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `# {trace_id="`+minted+`"}`) {
+		t.Fatalf("/metrics has no exemplar for trace %s", minted)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(r.stderr.String(), `msg=span`) ||
+		!strings.Contains(r.stderr.String(), "name=build") {
+		if time.Now().After(deadline) {
+			t.Fatalf("debug span lines missing from -log-level debug output\nstderr:\n%s", r.stderr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	r.waitExit(t, syscall.SIGTERM)
+}
+
 // TestReplicatedPair: two live replicas shard and forward; answers are
 // byte-identical through either replica, and killing one leaves the
 // other fully answering.

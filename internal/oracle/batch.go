@@ -107,7 +107,6 @@ func (o *Oracle) BatchCtx(ctx context.Context, queries []BatchQuery, workers int
 
 func (o *Oracle) batch(tr *telemetry.Trace, queries []BatchQuery, workers int) ([]BatchResult, BatchPlan, error) {
 	o.batchQ.Add(1)
-	o.met.batchQ.Inc()
 	points := 0
 	for i := range queries {
 		if queries[i].Op == "curve" && queries[i].K > 0 {
@@ -143,7 +142,10 @@ func (o *Oracle) batch(tr *telemetry.Trace, queries []BatchQuery, workers int) (
 			out[i].Error = err.Error()
 			continue
 		}
-		e, err := o.lookup(q.Alpha, ph, q.tau())
+		// Planning probes many keys; per-query hit/miss attrs would only
+		// churn the root span's slots, so the lookup goes untraced here —
+		// the per-group spans below carry the batch's tree instead.
+		e, err := o.lookup(q.Alpha, ph, q.tau(), nil)
 		if err != nil {
 			out[i].Error = err.Error()
 			continue
@@ -169,6 +171,9 @@ func (o *Oracle) batch(tr *telemetry.Trace, queries []BatchQuery, workers int) (
 	// write only out[i] for their group's indices — never racing.
 	err := runner.ForEach(workers, len(order), func(gi int) error {
 		g := order[gi]
+		sp := tr.StartSpan("batch_group", tr.Root())
+		sp.SetValue(int64(len(g.indices)))
+		defer sp.End()
 		o.lockEntry(g.e, tr)
 		defer g.e.mu.Unlock()
 		if g.maxK > 0 {
@@ -206,7 +211,6 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult, tr *tel
 	switch q.Op {
 	case "depth":
 		o.depthQ.Add(1)
-		o.met.depthQ.Inc()
 		d, err := o.depthLocked(e, q.Target, q.KMax, tr)
 		if err != nil {
 			fail(err)
@@ -215,7 +219,6 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult, tr *tel
 		res.Depth = d
 	case "curve":
 		o.curveQ.Add(1)
-		o.met.curveQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return
@@ -223,7 +226,6 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult, tr *tel
 		res.Curve = e.curve.ValuesUpTo(q.K)
 	case "failure", "cell":
 		o.cellQ.Add(1)
-		o.met.cellQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return
@@ -232,7 +234,6 @@ func (o *Oracle) answerLocked(e *entry, q *BatchQuery, res *BatchResult, tr *tel
 		res.P = &p
 	case "bracket":
 		o.bracketQ.Add(1)
-		o.met.bracketQ.Inc()
 		if q.K < 1 {
 			fail(fmt.Errorf("oracle: k = %d must be ≥ 1", q.K))
 			return

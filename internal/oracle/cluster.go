@@ -307,15 +307,34 @@ func (b *bufferedResponse) WriteHeader(status int)      { b.status = status }
 func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
 
 // forwardOrHedge races the owner (with retries) against a hedged local
-// compute and serves the first complete answer.
+// compute and serves the first complete answer. The whole race is one
+// forward span under the request's root — per-attempt children under it,
+// the hedged local compute as a hedge_local child — tagged with the peer
+// and which side won; hedge and breaker activity flags the trace for the
+// flight recorder's tail sampler.
 func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner string) {
 	tr := telemetry.TraceFrom(r.Context())
+	fwdSpan := tr.StartSpan("forward", tr.Root())
+	fwdSpan.SetAttr("peer", owner)
 	fwdStart := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), c.fwdTimeout)
 	defer cancel()
 
+	// A breaker transition during this request marks the trace as
+	// interesting even when the request itself still succeeds.
+	brk := c.breakerFor(owner)
+	var trans0 int64
+	if brk != nil {
+		trans0 = brk.transitions.Load()
+	}
 	fwdc := make(chan *bufferedResponse, 1)
-	go func() { fwdc <- c.tryForward(ctx, r, owner) }()
+	go func() {
+		out := c.tryForward(ctx, r, owner, fwdSpan)
+		if brk != nil && brk.transitions.Load() != trans0 {
+			tr.SetFlag(telemetry.FlagBreaker)
+		}
+		fwdc <- out
+	}()
 
 	var hedgeTimer <-chan time.Time
 	if c.hedgeAfter > 0 {
@@ -332,6 +351,8 @@ func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner s
 			if br != nil {
 				cancel() // drop a still-running hedge's budget
 				tr.Add(telemetry.PhaseForward, time.Since(fwdStart))
+				fwdSpan.SetAttr("winner", "peer")
+				fwdSpan.End()
 				writeBuffered(w, br)
 				return
 			}
@@ -340,6 +361,8 @@ func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner s
 			c.fallbacks.Add(1)
 			c.met.fallbacks.Inc()
 			if !hedging {
+				fwdSpan.SetAttr("winner", "local_fallback")
+				fwdSpan.End()
 				c.local.ServeHTTP(w, r)
 				return
 			}
@@ -348,13 +371,19 @@ func (c *Cluster) forwardOrHedge(w http.ResponseWriter, r *http.Request, owner s
 			hedging = true
 			c.hedges.Add(1)
 			c.met.hedges[owner].Inc()
+			tr.SetFlag(telemetry.FlagHedged)
 			hedgeTimer = nil
 			go func() {
+				hsp := tr.StartSpan("hedge_local", fwdSpan)
 				br := newBufferedResponse()
 				c.local.ServeHTTP(br, r.WithContext(context.WithoutCancel(r.Context())))
+				hsp.End() // meaningful even if the trace sealed meanwhile
 				localc <- br
 			}()
 		case br := <-localc:
+			tr.SetFlag(telemetry.FlagHedgeWon)
+			fwdSpan.SetAttr("winner", "hedge")
+			fwdSpan.End()
 			writeBuffered(w, br)
 			return
 		}
@@ -370,14 +399,18 @@ func writeBuffered(w http.ResponseWriter, b *bufferedResponse) {
 // tryForward sends the query to owner with capped-exponential-backoff
 // retries. A non-5xx response — including a 400 or 422, which is a
 // legitimate answer — is a success. Returns nil when every attempt
-// failed or the breaker refused.
-func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string) *bufferedResponse {
+// failed or the breaker refused. Each attempt is a forward_attempt span
+// under fwdSpan tagged with its outcome, so a retried forward reads as a
+// tree, not a mystery gap.
+func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string, fwdSpan telemetry.SpanRef) *bufferedResponse {
+	tr := telemetry.TraceFrom(r.Context())
 	br := c.breakerFor(owner)
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		if br != nil && !br.allow() {
+			fwdSpan.SetAttr("breaker", "refused")
 			return nil
 		}
 		if attempt > 0 {
@@ -394,11 +427,14 @@ func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string)
 		req.Header.Set(clusterForwardHeader, c.self)
 		// Propagate the request's trace so the owner's log line carries the
 		// same ID as ours.
-		if tr := telemetry.TraceFrom(r.Context()); tr != nil && tr.ID != "" {
+		if tr != nil && tr.ID != "" {
 			req.Header.Set(telemetry.TraceHeader, tr.ID)
 		}
+		asp := tr.StartSpan("forward_attempt", fwdSpan)
 		resp, err := c.client.Do(req)
 		if err != nil {
+			asp.SetAttr("outcome", "error")
+			asp.End()
 			if br != nil {
 				br.failure()
 			}
@@ -407,6 +443,8 @@ func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string)
 		}
 		if resp.StatusCode >= 500 {
 			resp.Body.Close()
+			asp.SetAttr("outcome", "status_5xx")
+			asp.End()
 			if br != nil {
 				br.failure()
 			}
@@ -419,11 +457,15 @@ func (c *Cluster) tryForward(ctx context.Context, r *http.Request, owner string)
 		_, err = io.Copy(&out.body, io.LimitReader(resp.Body, maxForwardBody))
 		resp.Body.Close()
 		if err != nil {
+			asp.SetAttr("outcome", "body_error")
+			asp.End()
 			if br != nil {
 				br.failure()
 			}
 			continue
 		}
+		asp.SetAttr("outcome", "ok")
+		asp.End()
 		if br != nil {
 			br.success()
 		}
@@ -473,6 +515,11 @@ type breaker struct {
 	openedAt time.Time
 	now      func() time.Time // test hook; nil = time.Now
 
+	// transitions counts real state changes; the forwarding path
+	// snapshots it around a request to flag traces that watched the
+	// breaker move.
+	transitions atomic.Int64
+
 	// stateG exports the state for scraping as 0 closed, 1 half-open,
 	// 2 open (larger = less available); nil when uninstrumented.
 	stateG *telemetry.Gauge
@@ -509,6 +556,7 @@ func (b *breaker) allow() bool {
 	case 1:
 		if b.clock().Sub(b.openedAt) >= b.cooldown {
 			b.state = 2
+			b.transitions.Add(1)
 			b.exportState()
 			b.logf("cluster: breaker for %s half-open, probing", b.peer)
 			return true
@@ -523,6 +571,7 @@ func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state != 0 {
+		b.transitions.Add(1)
 		b.logf("cluster: breaker for %s closed", b.peer)
 	}
 	b.state, b.failures = 0, 0
@@ -535,12 +584,14 @@ func (b *breaker) failure() {
 	switch b.state {
 	case 2: // failed probe: back to open, restart the cooldown
 		b.state, b.openedAt = 1, b.clock()
+		b.transitions.Add(1)
 		b.exportState()
 		b.logf("cluster: breaker for %s re-opened (probe failed)", b.peer)
 	case 0:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state, b.openedAt = 1, b.clock()
+			b.transitions.Add(1)
 			b.exportState()
 			b.logf("cluster: breaker for %s opened after %d consecutive failures", b.peer, b.failures)
 		}

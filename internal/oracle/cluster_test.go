@@ -179,28 +179,35 @@ func TestClusterFailover(t *testing.T) {
 		cfg.BreakerThreshold = 2
 	})
 
-	// Find a query replica 1 owns, so asking replica 0 must forward.
+	// Find a query one replica owns so asking the other must forward.
+	// HRW ownership depends on the replicas' random ports, so either
+	// replica may own any given point; pick the victim to match instead
+	// of fixing it up front (4 points can all land on one replica).
 	const k = 40
 	var q string
+	asker, victim := 0, 1
 	for _, cand := range testQueries(k) {
 		r, _ := http.NewRequest(http.MethodGet, cand, nil)
-		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
+		if key, ok := chainKeyOf(r); ok {
 			q = cand
+			if rs.clusters[0].owner(key) == rs.urls[0] {
+				asker, victim = 1, 0
+			}
 			break
 		}
 	}
 	if q == "" {
-		t.Fatal("no test point owned by replica 1")
+		t.Fatal("no shardable test query")
 	}
 
 	// Reference answer while both replicas are up.
-	_, want := rs.get(t, 0, q)
+	_, want := rs.get(t, asker, q)
 
-	// Kill the owner. Queries via replica 0 must still answer, identically.
-	rs.servers[1].Close()
+	// Kill the owner. Queries via the asker must still answer, identically.
+	rs.servers[victim].Close()
 	for i := 0; i < 4; i++ {
 		start := time.Now()
-		status, body := rs.get(t, 0, q)
+		status, body := rs.get(t, asker, q)
 		if status != http.StatusOK {
 			t.Fatalf("query %d after owner death: status %d", i, status)
 		}
@@ -211,15 +218,35 @@ func TestClusterFailover(t *testing.T) {
 			t.Fatalf("query %d took %v; deadline not honored", i, el)
 		}
 	}
-	st := rs.clusters[0].Stats()
+	st := rs.clusters[asker].Stats()
 	if st.LocalFallbacks == 0 {
 		t.Fatalf("owner dead but no local fallbacks recorded: %+v", st)
 	}
 	// The breaker opened after the threshold, so later queries skipped the
 	// dead peer instead of burning retries.
-	if st.BreakerStates[rs.urls[1]] != "open" {
-		t.Fatalf("breaker for dead peer is %q, want open", st.BreakerStates[rs.urls[1]])
+	if st.BreakerStates[rs.urls[victim]] != "open" {
+		t.Fatalf("breaker for dead peer is %q, want open", st.BreakerStates[rs.urls[victim]])
 	}
+}
+
+// queryOwnedBy returns a curve query whose chain key the given replica
+// owns, from the asker's view. HRW ownership hashes the replicas'
+// random httptest ports, so any FIXED candidate list can land entirely
+// on one side (4 points → 1-in-16 per run); sweeping alpha in basis
+// points makes a miss astronomically unlikely, and the t.Fatal guards
+// the theoretical remainder loudly instead of degrading the query to
+// "" (a 404 on the mux root).
+func queryOwnedBy(t *testing.T, rs *replicaSet, asker, owner, k int) string {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		q := fmt.Sprintf("/v1/curve?alpha=%g&frac=0.5&k=%d", 0.05+float64(i)*0.001, k)
+		r, _ := http.NewRequest(http.MethodGet, q, nil)
+		if key, ok := chainKeyOf(r); ok && rs.clusters[asker].owner(key) == rs.urls[owner] {
+			return q
+		}
+	}
+	t.Fatal("no candidate query owned by the target replica")
+	return ""
 }
 
 // TestClusterRetry: transient transport faults are retried and the
@@ -234,15 +261,7 @@ func TestClusterRetry(t *testing.T) {
 		cfg.MaxAttempts = 3
 	})
 
-	const k = 40
-	var q string
-	for _, cand := range testQueries(k) {
-		r, _ := http.NewRequest(http.MethodGet, cand, nil)
-		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
-			q = cand
-			break
-		}
-	}
+	q := queryOwnedBy(t, rs, 0, 1, 40)
 	_, want := rs.get(t, 1, q) // owner's direct answer
 
 	tr.FailNext(2) // burst: first two forward attempts die in transit
@@ -273,15 +292,7 @@ func TestClusterHedge(t *testing.T) {
 	})
 	defer close(stall)
 
-	const k = 40
-	var q string
-	for _, cand := range testQueries(k) {
-		r, _ := http.NewRequest(http.MethodGet, cand, nil)
-		if key, ok := chainKeyOf(r); ok && rs.clusters[0].owner(key) == rs.urls[1] {
-			q = cand
-			break
-		}
-	}
+	q := queryOwnedBy(t, rs, 0, 1, 40)
 	ref := httptest.NewServer(NewServer(New(0), 1).Handler())
 	defer ref.Close()
 	resp, err := http.Get(ref.URL + q)

@@ -8,31 +8,43 @@ import "multihonest/internal/telemetry"
 // event and allocates nothing. Per-op counter handles are resolved once
 // here so the hot path never takes the registry's family lock.
 type oracleMetrics struct {
-	hits, misses, evictions, coalesced *telemetry.Counter
-	build, extend                      *telemetry.Histogram
-
-	depthQ, curveQ, bracketQ, cellQ, batchQ *telemetry.Counter
+	build, extend *telemetry.Histogram
 }
 
 // Instrument registers the oracle's metric families on reg and starts
 // recording into them alongside the existing Stats counters. Call once,
 // before the oracle begins serving queries: the handles are installed
 // with a plain write and read without synchronization afterwards.
+//
+// Every counter family — the per-op query counts and the cache
+// statistics — is exported as a func-backed series over the atomics the
+// oracle already maintains for Stats: the warm serve path pays no second
+// counter write, and the Prometheus view cannot drift from /debug/vars.
+// Only the build/extend latency histograms record inline, and those sit
+// on the cold path by definition.
 func (o *Oracle) Instrument(reg *telemetry.Registry) {
 	queries := reg.CounterVec("oracle_queries_total", "Queries served, by operation.", "op")
+	queries.Func(func() float64 { return float64(o.depthQ.Load()) }, "depth")
+	queries.Func(func() float64 { return float64(o.curveQ.Load()) }, "curve")
+	queries.Func(func() float64 { return float64(o.bracketQ.Load()) }, "bracket")
+	queries.Func(func() float64 { return float64(o.cellQ.Load()) }, "cell")
+	queries.Func(func() float64 { return float64(o.batchQ.Load()) }, "batch")
 	o.met = oracleMetrics{
-		hits:      reg.Counter("oracle_cache_hits_total", "Curve-cache lookups that found a resident entry."),
-		misses:    reg.Counter("oracle_cache_misses_total", "Curve-cache lookups that created a new entry."),
-		evictions: reg.Counter("oracle_cache_evictions_total", "Entries evicted by the LRU capacity bound."),
-		coalesced: reg.Counter("oracle_coalesced_waits_total", "Queries that blocked on another goroutine's work on the same entry."),
-		build:     reg.Histogram("oracle_build_seconds", "Cold DP builds of a chain's curve.", nil),
-		extend:    reg.Histogram("oracle_extend_seconds", "Incremental in-place curve extensions.", nil),
-		depthQ:    queries.With("depth"),
-		curveQ:    queries.With("curve"),
-		bracketQ:  queries.With("bracket"),
-		cellQ:     queries.With("cell"),
-		batchQ:    queries.With("batch"),
+		build:  reg.Histogram("oracle_build_seconds", "Cold DP builds of a chain's curve.", nil),
+		extend: reg.Histogram("oracle_extend_seconds", "Incremental in-place curve extensions.", nil),
 	}
+	reg.CounterFunc("oracle_cache_hits_total", "Curve-cache lookups that found a resident entry.", func() float64 {
+		return float64(o.hits.Load())
+	})
+	reg.CounterFunc("oracle_cache_misses_total", "Curve-cache lookups that created a new entry.", func() float64 {
+		return float64(o.misses.Load())
+	})
+	reg.CounterFunc("oracle_cache_evictions_total", "Entries evicted by the LRU capacity bound.", func() float64 {
+		return float64(o.evictions.Load())
+	})
+	reg.CounterFunc("oracle_coalesced_waits_total", "Queries that blocked on another goroutine's work on the same entry.", func() float64 {
+		return float64(o.coalesced.Load())
+	})
 	reg.GaugeFunc("oracle_cache_entries", "Resident parameter points in the curve cache.", func() float64 {
 		o.mu.Lock()
 		n := len(o.entries)

@@ -208,8 +208,11 @@ func Canonicalize(alpha, ph, tau float64) (Key, charstring.Params, error) {
 // lookup returns the resident entry for the canonical key, creating (and
 // counting a miss for) one when absent. Entry creation is cheap — curves
 // build lazily on first extension — so it happens under the cache lock;
-// the DP work itself always runs under the entry lock only.
-func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
+// the DP work itself always runs under the entry lock only. The outcome
+// is tagged onto the trace's root span as cache=hit|miss — literal
+// strings into a preallocated attribute slot, so the warm hit path stays
+// allocation-free even fully traced.
+func (o *Oracle) lookup(alpha, ph, tau float64, tr *telemetry.Trace) (*entry, error) {
 	key, p, err := Canonicalize(alpha, ph, tau)
 	if err != nil {
 		return nil, err
@@ -219,11 +222,11 @@ func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
 	if e, ok := o.entries[key]; ok {
 		o.lru.MoveToFront(e.elem)
 		o.hits.Add(1)
-		o.met.hits.Inc()
+		tr.Root().SetAttr("cache", "hit")
 		return e, nil
 	}
 	o.misses.Add(1)
-	o.met.misses.Inc()
+	tr.Root().SetAttr("cache", "miss")
 	e := &entry{key: key, comp: settlement.New(p)}
 	e.elem = o.lru.PushFront(e)
 	o.entries[key] = e
@@ -239,7 +242,6 @@ func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
 		victim.evicted.Store(true)
 		o.residentBytes.Add(-victim.bytes.Swap(0))
 		o.evictions.Add(1)
-		o.met.evictions.Inc()
 	}
 	return e, nil
 }
@@ -247,16 +249,18 @@ func (o *Oracle) lookup(alpha, ph, tau float64) (*entry, error) {
 // lockEntry takes the entry lock, counting the acquisition as a coalesced
 // wait when another goroutine already holds it (the waiter will reuse
 // whatever build or extension the holder completes). The blocked time is
-// charged to the request trace's coalesce_wait phase.
+// charged to the request trace's coalesce_wait phase and recorded as a
+// coalesce_wait span under the request's root.
 func (o *Oracle) lockEntry(e *entry, tr *telemetry.Trace) {
 	if e.mu.TryLock() {
 		return
 	}
 	o.coalesced.Add(1)
-	o.met.coalesced.Inc()
 	start := time.Now()
 	e.mu.Lock()
-	tr.Add(telemetry.PhaseCoalesceWait, time.Since(start))
+	blocked := time.Since(start)
+	tr.Add(telemetry.PhaseCoalesceWait, blocked)
+	tr.AddSpan("coalesce_wait", tr.Root(), start, blocked)
 }
 
 // accountLocked refreshes the entry's resident-byte contribution after a
@@ -295,7 +299,7 @@ func (o *Oracle) extendLocked(e *entry, k int, tr *telemetry.Trace) error {
 	if err := e.curve.Extend(k); err != nil {
 		return err
 	}
-	o.recordWork(prev, time.Since(start), tr)
+	o.recordWork(e, prev, k, start, tr)
 	o.accountLocked(e)
 	return nil
 }
@@ -325,25 +329,39 @@ func (o *Oracle) upperLocked(e *entry, cap, k int, tr *telemetry.Trace) (*lattic
 	if err := uc.Extend(k); err != nil {
 		return nil, err
 	}
-	o.recordWork(prev, time.Since(start), tr)
+	o.recordWork(e, prev, k, start, tr)
 	o.accountLocked(e)
 	return uc, nil
 }
 
-// recordWork classifies finished DP work: prev == 0 was a cold build,
-// anything else an incremental extension. The duration lands in the
-// matching latency histogram and trace phase.
-func (o *Oracle) recordWork(prev int, d time.Duration, tr *telemetry.Trace) {
+// recordWork classifies finished DP work on entry e: prev == 0 was a
+// cold build, anything else an incremental extension of prev → k. The
+// duration lands in the matching latency histogram (with an exemplar
+// linking the bucket to this trace), trace phase, and a build/extend
+// span under the request's root carrying the canonical key and the
+// number of lattice steps computed. DP work is inherently a cold path,
+// so the span's key attribute may allocate.
+func (o *Oracle) recordWork(e *entry, prev, k int, start time.Time, tr *telemetry.Trace) {
+	d := time.Since(start)
+	name, trID := "extend", ""
+	if tr != nil {
+		trID = tr.ID
+	}
 	if prev == 0 {
+		name = "build"
 		o.builds.Add(1)
 		o.buildNS.Add(int64(d))
-		o.met.build.ObserveDuration(d)
+		o.met.build.ObserveWithExemplar(d.Seconds(), trID)
 		tr.Add(telemetry.PhaseBuild, d)
 	} else {
 		o.extends.Add(1)
 		o.extendNS.Add(int64(d))
-		o.met.extend.ObserveDuration(d)
+		o.met.extend.ObserveWithExemplar(d.Seconds(), trID)
 		tr.Add(telemetry.PhaseExtend, d)
+	}
+	if sp := tr.AddSpan(name, tr.Root(), start, d); sp.Active() {
+		sp.SetAttr("key", fmt.Sprintf("%d/%d", e.key.AlphaBP, e.key.FracBP))
+		sp.SetValue(int64(k - prev))
 	}
 }
 
@@ -370,11 +388,10 @@ func (o *Oracle) SettlementCurveCtx(ctx context.Context, alpha, ph float64, k in
 
 func (o *Oracle) settlementCurve(tr *telemetry.Trace, alpha, ph float64, k int) ([]float64, error) {
 	o.curveQ.Add(1)
-	o.met.curveQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return nil, err
 	}
-	e, err := o.lookup(alpha, ph, 0)
+	e, err := o.lookup(alpha, ph, 0, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -399,11 +416,10 @@ func (o *Oracle) SettlementFailureCtx(ctx context.Context, alpha, ph float64, k 
 
 func (o *Oracle) settlementFailure(tr *telemetry.Trace, alpha, ph float64, k int) (float64, error) {
 	o.cellQ.Add(1)
-	o.met.cellQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return 0, err
 	}
-	e, err := o.lookup(alpha, ph, 0)
+	e, err := o.lookup(alpha, ph, 0, tr)
 	if err != nil {
 		return 0, err
 	}
@@ -448,11 +464,10 @@ func (o *Oracle) SettlementBracketCtx(ctx context.Context, alpha, ph float64, k 
 
 func (o *Oracle) settlementBracket(tr *telemetry.Trace, alpha, ph float64, k int, tau float64) (lower, upper float64, err error) {
 	o.bracketQ.Add(1)
-	o.met.bracketQ.Inc()
 	if err := validHorizon(k); err != nil {
 		return 0, 0, err
 	}
-	e, err := o.lookup(alpha, ph, tau)
+	e, err := o.lookup(alpha, ph, tau, tr)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -480,14 +495,13 @@ func (o *Oracle) ConfirmationDepthCtx(ctx context.Context, alpha, ph, target flo
 
 func (o *Oracle) confirmationDepth(tr *telemetry.Trace, alpha, ph, target float64, kmax int) (int, error) {
 	o.depthQ.Add(1)
-	o.met.depthQ.Inc()
 	if !(target > 0 && target < 1) { // positive form also rejects NaN
 		return 0, fmt.Errorf("oracle: target %v outside (0,1)", target)
 	}
 	if kmax < 1 || kmax > MaxDepthKMax {
 		return 0, fmt.Errorf("oracle: kmax %d outside [1, %d]", kmax, MaxDepthKMax)
 	}
-	e, err := o.lookup(alpha, ph, 0)
+	e, err := o.lookup(alpha, ph, 0, tr)
 	if err != nil {
 		return 0, err
 	}

@@ -84,20 +84,24 @@ func badRequest(w http.ResponseWriter, err error) {
 }
 
 // writeJSONTraced is writeJSON with the encode time charged to the
-// request trace's serialize phase.
+// request trace's serialize phase and recorded as a serialize span.
 func writeJSONTraced(tr *telemetry.Trace, w http.ResponseWriter, status int, v any) {
 	start := time.Now()
 	writeJSON(w, status, v)
-	tr.Add(telemetry.PhaseSerialize, time.Since(start))
+	d := time.Since(start)
+	tr.Add(telemetry.PhaseSerialize, d)
+	tr.AddSpan("serialize", tr.Root(), start, d)
 }
 
 // traceOf pulls the request trace out of the context (nil — inert — when
 // the server runs without the telemetry middleware) and closes its queue
 // phase: the time between the trace's birth at the HTTP edge and the
-// handler actually starting on the query.
+// handler actually starting on the query. The same interval lands as a
+// queue span under the root, so the tree shows routing overhead.
 func traceOf(r *http.Request) *telemetry.Trace {
 	tr := telemetry.TraceFrom(r.Context())
 	tr.MarkQueueDone()
+	tr.AddSpan("queue", tr.Root(), tr.Start(), time.Since(tr.Start()))
 	return tr
 }
 

@@ -36,6 +36,7 @@ import (
 	"multihonest/internal/faultfs"
 	"multihonest/internal/lattice"
 	"multihonest/internal/settlement"
+	"multihonest/internal/telemetry"
 )
 
 const (
@@ -533,6 +534,7 @@ type Checkpointer struct {
 	path     string
 	interval time.Duration
 	logf     func(format string, args ...any)
+	rec      *telemetry.Recorder
 
 	stop chan struct{}
 	done chan struct{}
@@ -557,6 +559,30 @@ func NewCheckpointer(o *Oracle, fsys faultfs.FS, path string, interval time.Dura
 	}
 }
 
+// SetRecorder routes one operational trace per snapshot save into the
+// flight recorder, so checkpoint durations show up in /debug/traces
+// alongside request traces. Call before Run.
+func (c *Checkpointer) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
+
+// save writes one snapshot under an operational trace: a snapshot_save
+// span carrying the entry count and the save kind (periodic or final),
+// force-flagged so the tail sampler always keeps it.
+func (c *Checkpointer) save(kind string) (int, error) {
+	tr := telemetry.NewTrace("")
+	sp := tr.StartSpan("snapshot_save", telemetry.SpanRef{})
+	sp.SetAttr("kind", kind)
+	n, err := c.o.SaveSnapshotFile(c.fsys, c.path)
+	sp.SetValue(int64(n))
+	if err != nil {
+		tr.SetFlag(telemetry.FlagError)
+	}
+	sp.End()
+	tr.SetFlag(telemetry.FlagForce)
+	tr.Finish()
+	c.rec.Record(tr)
+	return n, err
+}
+
 // Run loops until Close, saving a snapshot every interval when the cache
 // has churned. Save failures are logged and retried next tick: an
 // unwritable disk degrades durability, never serving.
@@ -574,7 +600,7 @@ func (c *Checkpointer) Run() {
 			if stamp == last {
 				continue
 			}
-			n, err := c.o.SaveSnapshotFile(c.fsys, c.path)
+			n, err := c.save("periodic")
 			if err != nil {
 				c.logf("checkpoint: %v", err)
 				continue
@@ -590,7 +616,7 @@ func (c *Checkpointer) Run() {
 func (c *Checkpointer) Close() error {
 	close(c.stop)
 	<-c.done
-	n, err := c.o.SaveSnapshotFile(c.fsys, c.path)
+	n, err := c.save("final")
 	if err != nil {
 		return err
 	}

@@ -82,6 +82,54 @@ func TestTrackerZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestTrackerRecordsJobTrace pins the job-trace contract: with a
+// recorder observing jobs, a finished job lands in the flight recorder
+// as a force-flagged trace whose runner_job root span carries the job
+// name and total samples, with one batch span per recorded batch — and
+// per-batch recording stays allocation-free.
+func TestTrackerRecordsJobTrace(t *testing.T) {
+	reg := telemetry.New()
+	Instrument(reg)
+	defer met.Store(nil)
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{Capacity: 8, SampleRate: -1})
+	ObserveJobs(rec)
+	defer ObserveJobs(nil)
+
+	cfg := Config{Name: "traced_job"}
+	tk := track(&cfg)
+	if allocs := testing.AllocsPerRun(200, func() { tk.batch(128) }); allocs != 0 {
+		t.Fatalf("recorded tracker batch: %v allocs/op, want 0", allocs)
+	}
+	tk.finish()
+
+	snaps := rec.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(snaps))
+	}
+	ts := snaps[0]
+	if len(ts.Spans) == 0 || ts.Spans[0].Name != "runner_job" {
+		t.Fatalf("spans = %+v, want runner_job root", ts.Spans)
+	}
+	if ts.Spans[0].Attrs["job"] != "traced_job" {
+		t.Errorf("root attrs = %v", ts.Spans[0].Attrs)
+	}
+	// 201 batches offered (AllocsPerRun runs once extra to warm up), the
+	// arena keeps what fits; the root's value has the exact total.
+	wantTotal := int64(0)
+	for _, sp := range ts.Spans[1:] {
+		if sp.Name != "batch" {
+			t.Errorf("unexpected span %q", sp.Name)
+		}
+		wantTotal += sp.Value
+	}
+	if ts.Spans[0].Value != tk.n {
+		t.Errorf("root value = %d, want %d", ts.Spans[0].Value, tk.n)
+	}
+	if ts.DroppedSpans == 0 {
+		t.Error("expected arena overflow drops from 200+ batches")
+	}
+}
+
 type constVerdict struct{ n int }
 
 func (v *constVerdict) Reset()                          { v.n = 0 }

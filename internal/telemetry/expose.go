@@ -46,7 +46,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					if i < len(s.h.bounds) {
 						le = formatFloat(s.h.bounds[i])
 					}
-					writeSample(bw, f.name+"_bucket", f.labelKeys, s.labelVals, "le", le, float64(cum))
+					writeSampleEx(bw, f.name+"_bucket", f.labelKeys, s.labelVals, "le", le, float64(cum), s.h.BucketExemplar(i))
 				}
 				writeSample(bw, f.name+"_sum", f.labelKeys, s.labelVals, "", "", s.h.Sum())
 				writeSample(bw, f.name+"_count", f.labelKeys, s.labelVals, "", "", float64(cum))
@@ -59,6 +59,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeSample emits one exposition line; extraKey/extraVal append a
 // trailing label (the histogram le) when non-empty.
 func writeSample(bw *bufio.Writer, name string, keys, vals []string, extraKey, extraVal string, v float64) {
+	writeSampleEx(bw, name, keys, vals, extraKey, extraVal, v, nil)
+}
+
+// writeSampleEx is writeSample with an optional OpenMetrics-style
+// exemplar suffix on the same line:
+//
+//	name_bucket{le="0.1"} 42 # {trace_id="deadbeefcafef00d"} 0.093 1723111845.2
+//
+// The classic 0.0.4 format has no exemplar syntax, so the suffix is
+// emitted only when an exemplar exists — untraced registries expose
+// byte-identical output to before (the golden test's contract) — and
+// the scrape-side parser strips it.
+func writeSampleEx(bw *bufio.Writer, name string, keys, vals []string, extraKey, extraVal string, v float64, ex *Exemplar) {
 	bw.WriteString(name)
 	if len(keys) > 0 || extraKey != "" {
 		bw.WriteByte('{')
@@ -84,6 +97,14 @@ func writeSample(bw *bufio.Writer, name string, keys, vals []string, extraKey, e
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(formatFloat(v))
+	if ex != nil {
+		bw.WriteString(` # {trace_id="`)
+		bw.WriteString(escapeLabel(ex.TraceID))
+		bw.WriteString(`"} `)
+		bw.WriteString(formatFloat(ex.Value))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+	}
 	bw.WriteByte('\n')
 }
 

@@ -25,6 +25,20 @@ type Histogram struct {
 	bounds []float64       // ascending upper bounds, seconds
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits of the running sum, CAS-updated
+
+	// exemplars holds, per bucket, the most recent traced observation
+	// that landed there — the link from a latency bucket back to a
+	// flight-recorder trace ("show me a p99 request"). Written by
+	// ObserveWithExemplar only, so the plain Observe hot paths never
+	// touch it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
 }
 
 // newHistogram builds the recording state for one series.
@@ -35,8 +49,9 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -89,6 +104,35 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration as seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveWithExemplar records one value and remembers (bucket-wise) the
+// trace that produced it; /metrics then emits the exemplar after that
+// bucket's line. Allocates one small struct — call it from edges and
+// cold paths (HTTP middleware, DP builds), not from per-op hot loops.
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+}
+
+// BucketExemplar returns the stored exemplar of bucket i (counting the
+// +Inf bucket last), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {

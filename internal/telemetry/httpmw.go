@@ -39,7 +39,7 @@ var knownEndpoints = map[string]bool{
 	"/v1/depth": true, "/v1/curve": true, "/v1/failure": true,
 	"/v1/cell": true, "/v1/bracket": true, "/v1/batch": true,
 	"/healthz": true, "/healthz/live": true, "/healthz/ready": true,
-	"/metrics": true, "/debug/vars": true,
+	"/metrics": true, "/debug/vars": true, "/debug/traces": true,
 }
 
 // Endpoint normalizes a request path onto the bounded endpoint label set.
@@ -79,31 +79,71 @@ var quietPaths = map[string]bool{
 	"/metrics": true,
 }
 
-// Middleware wraps next with the telemetry edge: it adopts the incoming
-// TraceHeader (or mints a trace ID), stores the request Trace in the
-// context for the layers below to fill in, echoes the ID on the response,
-// records the (endpoint, status) duration histogram, and emits one
-// structured request log line carrying the trace ID and phase breakdown
-// (suppressed for health probes and metric scrapes). A nil logger
-// disables logging; a nil m disables metrics.
+// MiddlewareConfig configures the telemetry edge beyond metrics and the
+// request log: the flight recorder finished traces are offered to, and
+// per-span debug logging.
+type MiddlewareConfig struct {
+	// Metrics records the (endpoint, status) counters and duration
+	// histogram; nil disables metrics.
+	Metrics *HTTPMetrics
+	// Logger emits one structured line per request (suppressed for
+	// probes and scrapes); nil disables logging.
+	Logger *slog.Logger
+	// Recorder receives every finished trace for tail sampling; nil
+	// disables recording.
+	Recorder *Recorder
+	// DebugSpans additionally logs one debug-level line per recorded
+	// span when Logger is set and its level admits debug — the
+	// -log-level debug view of a request.
+	DebugSpans bool
+}
+
+// Middleware wraps next with the default telemetry edge (metrics +
+// request log, no recorder). See MiddlewareWith.
 func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger) http.Handler {
+	return MiddlewareWith(next, MiddlewareConfig{Metrics: m, Logger: logger})
+}
+
+// MiddlewareWith wraps next with the telemetry edge: it adopts a valid
+// incoming TraceHeader (malformed or non-16-hex values are discarded
+// and a fresh ID minted), opens the request's root span, stores the
+// Trace in the context for the layers below to grow, echoes the ID on
+// the response, records the (endpoint, status) duration histogram with
+// an exemplar linking the latency bucket to this trace, seals the trace,
+// offers it to the flight recorder, and emits one structured request
+// log line with the trace ID and phase breakdown (suppressed for health
+// probes and metric scrapes).
+func MiddlewareWith(next http.Handler, cfg MiddlewareConfig) http.Handler {
+	m := cfg.Metrics
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tr := NewTrace(r.Header.Get(TraceHeader))
+		id := r.Header.Get(TraceHeader)
+		if !ValidTraceID(id) {
+			id = "" // junk in the header must not propagate across the fleet
+		}
+		tr := NewTrace(id)
+		root := tr.StartSpan("request", SpanRef{})
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set(TraceHeader, tr.ID)
 		if m != nil {
 			m.inflight.Add(1)
 		}
 		next.ServeHTTP(sw, r.WithContext(WithTrace(r.Context(), tr)))
-		elapsed := time.Since(tr.Start())
+		if sw.status >= 500 {
+			tr.SetFlag(FlagError)
+		}
+		root.End()
+		elapsed := tr.Finish()
 		if m != nil {
 			m.inflight.Add(-1)
 			ep, st := Endpoint(r.URL.Path), strconv.Itoa(sw.status)
 			m.requests.With(ep, st).Inc()
-			m.duration.With(ep, st).ObserveDuration(elapsed)
+			m.duration.With(ep, st).ObserveWithExemplar(elapsed.Seconds(), tr.ID)
 		}
-		if logger != nil && !quietPaths[r.URL.Path] {
-			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		kept := cfg.Recorder.Record(tr)
+		if cfg.Logger != nil && !quietPaths[r.URL.Path] {
+			cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("trace", tr.ID),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
@@ -112,6 +152,33 @@ func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger) http.Han
 				slog.Duration("elapsed", elapsed),
 				slog.String("phases", tr.PhaseString()),
 			)
+			if cfg.DebugSpans && cfg.Logger.Enabled(r.Context(), slog.LevelDebug) {
+				logSpans(r, cfg.Logger, tr, kept)
+			}
 		}
 	})
+}
+
+// logSpans renders the finished trace's span tree as one debug line per
+// span — the -log-level debug view. Allocates freely; debug-only.
+func logSpans(r *http.Request, logger *slog.Logger, tr *Trace, kept bool) {
+	snap := tr.Snapshot()
+	for i, sp := range snap.Spans {
+		attrs := []slog.Attr{
+			slog.String("trace", tr.ID),
+			slog.Int("span", i),
+			slog.String("name", sp.Name),
+			slog.Int("parent", sp.Parent),
+			slog.Duration("start", time.Duration(sp.StartNS)),
+			slog.Duration("dur", time.Duration(sp.DurNS)),
+			slog.Bool("kept", kept),
+		}
+		if sp.Value != 0 {
+			attrs = append(attrs, slog.Int64("value", sp.Value))
+		}
+		for k, v := range sp.Attrs {
+			attrs = append(attrs, slog.String(k, v))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelDebug, "span", attrs...)
+	}
 }

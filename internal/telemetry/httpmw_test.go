@@ -37,14 +37,50 @@ func TestMiddlewareMintsAndEchoesTraceID(t *testing.T) {
 }
 
 func TestMiddlewareAdoptsIncomingTraceID(t *testing.T) {
+	var got string
 	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if id := TraceFrom(req.Context()).ID; id != "forwarded01234ab" {
-			t.Fatalf("trace ID = %q, want the forwarded one", id)
-		}
+		got = TraceFrom(req.Context()).ID
 	}), nil, nil)
 	req := httptest.NewRequest("GET", "/v1/depth", nil)
-	req.Header.Set(TraceHeader, "forwarded01234ab")
+	req.Header.Set(TraceHeader, "f0f1f2f3f4f5f6f7")
 	h.ServeHTTP(httptest.NewRecorder(), req)
+	if got != "f0f1f2f3f4f5f6f7" {
+		t.Fatalf("trace ID = %q, want the forwarded one", got)
+	}
+}
+
+// TestMiddlewareRejectsMalformedTraceID pins the header-validation
+// contract: only 16-lowercase-hex IDs are adopted; junk, wrong-length,
+// uppercase, and injection-shaped values are discarded and a fresh ID
+// minted (and echoed on the response).
+func TestMiddlewareRejectsMalformedTraceID(t *testing.T) {
+	for _, bad := range []string{
+		"forwarded01234ab",        // non-hex letters
+		"ABCDEF0123456789",        // uppercase
+		"abc",                     // short
+		"aaaabbbbccccdddd0",       // long
+		"aaaabbbbcccc\"dd",        // quote injection
+		"aaaabbbbccccdd d",        // embedded space
+		strings.Repeat("a", 1024), // oversized
+	} {
+		var got string
+		h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			got = TraceFrom(req.Context()).ID
+		}), nil, nil)
+		req := httptest.NewRequest("GET", "/v1/depth", nil)
+		req.Header.Set(TraceHeader, bad)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got == bad {
+			t.Errorf("malformed trace ID %q was adopted", bad)
+		}
+		if !ValidTraceID(got) {
+			t.Errorf("minted replacement %q is not a valid trace ID", got)
+		}
+		if echo := rec.Header().Get(TraceHeader); echo != got {
+			t.Errorf("response echoes %q, want the minted %q", echo, got)
+		}
+	}
 }
 
 func TestMiddlewareLogsTraceAndPhases(t *testing.T) {

@@ -50,9 +50,16 @@ func ParseText(r io.Reader) (*Scrape, error) {
 	return &out, nil
 }
 
-// parseSampleLine parses `name{k="v",...} value` or `name value`.
+// parseSampleLine parses `name{k="v",...} value` or `name value`,
+// either optionally followed by an OpenMetrics exemplar suffix
+// (` # {trace_id="..."} value ts`), which is stripped — before label
+// parsing, because the exemplar's own braces would otherwise confuse
+// the last-'}' scan. None of this repo's label values contain " # ".
 func parseSampleLine(line string) (ScrapeSample, error) {
 	s := ScrapeSample{}
+	if j := strings.Index(line, " # "); j >= 0 {
+		line = line[:j]
+	}
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		s.Name = line[:i]

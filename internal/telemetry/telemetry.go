@@ -232,6 +232,18 @@ func (v *CounterVec) With(labelVals ...string) *Counter {
 	return v.fam.seriesFor(labelVals, func() *series { return &series{c: &Counter{}} }).c
 }
 
+// Func registers one series of the family whose value is computed by fn
+// at exposition time — the labeled form of CounterFunc, for per-op
+// counts the owner already maintains in its own atomics. fn must be
+// monotone non-decreasing and safe for concurrent use. Panics if the
+// series already exists with a stored value.
+func (v *CounterVec) Func(fn func() float64, labelVals ...string) {
+	s := v.fam.seriesFor(labelVals, func() *series { return &series{fn: fn} })
+	if s.fn == nil {
+		panic(fmt.Sprintf("telemetry: metric %q series %v re-registered as func, was stored", v.fam.name, labelVals))
+	}
+}
+
 // Gauge registers (or retrieves) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.lookupFamily(name, help, kindGauge, nil, nil)
@@ -256,6 +268,16 @@ func (v *GaugeVec) With(labelVals ...string) *Gauge {
 // entry counts, resident bytes). fn must be safe for concurrent use.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.lookupFamily(name, help, kindGauge, nil, nil)
+	f.seriesFor(nil, func() *series { return &series{fn: fn} })
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// exposition time. For counts the owner already maintains in its own
+// atomics (the oracle's cache statistics), this costs the hot path
+// nothing and cannot drift from the owner's view. fn must be monotone
+// non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.lookupFamily(name, help, kindCounter, nil, nil)
 	f.seriesFor(nil, func() *series { return &series{fn: fn} })
 }
 
